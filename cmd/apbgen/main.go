@@ -1,0 +1,112 @@
+// Command apbgen writes benchmark fact tables in the library's binary
+// format.
+//
+//	apbgen -dataset apb -density 0.1 -out apb.bin
+//	apbgen -dataset covtype -scale 0.5 -out cov.bin
+//	apbgen -dataset synthetic -dims 8 -tuples 500000 -zipf 0.8 -out z.bin
+//
+// It also writes a <out>.hier.json hierarchy spec consumable by
+// curectl build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cure/internal/gen"
+	"cure/internal/hierarchy"
+	"cure/internal/relation"
+)
+
+// hierSpec mirrors curectl's hierarchy JSON.
+type hierSpec struct {
+	Dims []dimSpec `json:"dims"`
+}
+
+type dimSpec struct {
+	Name   string      `json:"name"`
+	Levels []levelSpec `json:"levels"`
+}
+
+type levelSpec struct {
+	Name string `json:"name"`
+	Card int32  `json:"card"`
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "apb", "apb | covtype | sep85l | synthetic")
+		out     = flag.String("out", "", "output fact file (required)")
+		density = flag.Float64("density", 0.1, "APB-1 density factor (0.1 → 1,239,300 tuples)")
+		scale   = flag.Float64("scale", 1, "row-count scale for covtype/sep85l")
+		dims    = flag.Int("dims", 8, "synthetic: number of dimensions")
+		tuples  = flag.Int("tuples", 500_000, "synthetic: number of tuples")
+		zipf    = flag.Float64("zipf", 0.8, "synthetic: zipf skew factor")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("missing -out")
+	}
+
+	var (
+		hier *hierarchy.Schema
+		rows int64
+		err  error
+	)
+	switch *dataset {
+	case "apb":
+		rows, hier, err = gen.APBToFile(*out, *density, *seed)
+	case "covtype":
+		var ft *relation.FactTable
+		ft, hier, err = gen.CovTypeLike(*scale, *seed)
+		if err == nil {
+			rows = int64(ft.Len())
+			err = relation.WriteFactFile(*out, ft)
+		}
+	case "sep85l":
+		var ft *relation.FactTable
+		ft, hier, err = gen.Sep85LLike(*scale, *seed)
+		if err == nil {
+			rows = int64(ft.Len())
+			err = relation.WriteFactFile(*out, ft)
+		}
+	case "synthetic":
+		var ft *relation.FactTable
+		ft, hier, err = gen.Synthetic(gen.SyntheticSpec{Dims: *dims, Tuples: *tuples, Zipf: *zipf, Seed: *seed})
+		if err == nil {
+			rows = int64(ft.Len())
+			err = relation.WriteFactFile(*out, ft)
+		}
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	spec := hierSpec{}
+	for _, d := range hier.Dims {
+		ds := dimSpec{Name: d.Name}
+		for l := 0; l < d.AllLevel(); l++ {
+			ds.Levels = append(ds.Levels, levelSpec{Name: d.LevelName(l), Card: d.Card(l)})
+		}
+		spec.Dims = append(spec.Dims, ds)
+	}
+	data, err := json.MarshalIndent(spec, "", " ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hierPath := *out + ".hier.json"
+	if err := os.WriteFile(hierPath, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d tuples) and %s\n", *out, rows, hierPath)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "apbgen: "+format+"\n", args...)
+	os.Exit(1)
+}

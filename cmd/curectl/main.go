@@ -1,0 +1,623 @@
+// Command curectl builds, inspects, and queries CURE cubes.
+//
+//	curectl build -fact apb.bin -hier apb.bin.hier.json -out cube/ [-plus] [-dr] [-flat] [-mem 268435456]
+//	curectl info  -cube cube/
+//	curectl nodes -cube cube/
+//	curectl query -cube cube/ -levels "Class,Retailer,ALL,ALL" [-limit 20]
+//	curectl iceberg -cube cube/ -levels "Code,ALL,ALL,ALL" -min 100
+//
+// The hierarchy spec is JSON: {"dims":[{"name":"Product","levels":
+// [{"name":"Code","card":6500},{"name":"Class","card":435}]}]}; roll-up
+// maps default to contiguous ranges and can be given explicitly per level
+// as "map":[...] (base code → level code).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cure/internal/core"
+	"cure/internal/csvload"
+	"cure/internal/estimate"
+	"cure/internal/hierarchy"
+	"cure/internal/query"
+	"cure/internal/relation"
+	"cure/internal/storage"
+	"cure/internal/update"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "nodes":
+		cmdNodes(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:], false)
+	case "iceberg":
+		cmdQuery(os.Args[2:], true)
+	case "import":
+		cmdImport(os.Args[2:])
+	case "update":
+		cmdUpdate(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "estimate":
+		cmdEstimate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|import|update|verify|diff|estimate [flags]")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "curectl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// hierSpec is the JSON hierarchy description.
+type hierSpec struct {
+	Dims []struct {
+		Name   string `json:"name"`
+		Levels []struct {
+			Name string  `json:"name"`
+			Card int32   `json:"card"`
+			Map  []int32 `json:"map,omitempty"`
+		} `json:"levels"`
+	} `json:"dims"`
+}
+
+func loadHier(path string) *hierarchy.Schema {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var spec hierSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fatalf("parsing %s: %v", path, err)
+	}
+	var dims []*hierarchy.Dim
+	for _, ds := range spec.Dims {
+		if len(ds.Levels) == 0 {
+			fatalf("dimension %q has no levels", ds.Name)
+		}
+		var names []string
+		var cards []int32
+		var maps [][]int32
+		var acc []int32
+		for i, ls := range ds.Levels {
+			names = append(names, ls.Name)
+			cards = append(cards, ls.Card)
+			if i == 0 {
+				continue
+			}
+			step := ls.Map
+			if step == nil {
+				step = hierarchy.BuildContiguousMap(cards[i-1], ls.Card)
+			}
+			if acc == nil {
+				acc = step
+			} else {
+				acc = hierarchy.ComposeMaps(acc, step)
+			}
+			maps = append(maps, acc)
+		}
+		d, err := hierarchy.NewLinearDim(ds.Name, names, cards, maps)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		dims = append(dims, d)
+	}
+	s, err := hierarchy.NewSchema(dims...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return s
+}
+
+// parseAggs parses "-agg sum:0,count,min:1" into specs.
+func parseAggs(s string, numMeasures int) []relation.AggSpec {
+	if s == "" {
+		specs := []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}}
+		if numMeasures == 0 {
+			specs = specs[1:]
+		}
+		return specs
+	}
+	var specs []relation.AggSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		var f relation.AggFunc
+		switch strings.ToLower(fields[0]) {
+		case "sum":
+			f = relation.AggSum
+		case "count":
+			f = relation.AggCount
+		case "min":
+			f = relation.AggMin
+		case "max":
+			f = relation.AggMax
+		default:
+			fatalf("unknown aggregate %q", fields[0])
+		}
+		spec := relation.AggSpec{Func: f}
+		if f != relation.AggCount {
+			if len(fields) != 2 {
+				fatalf("aggregate %q needs a measure index, e.g. sum:0", part)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fatalf("bad measure index in %q", part)
+			}
+			spec.Measure = m
+		}
+		if err := spec.Validate(numMeasures); err != nil {
+			fatalf("%v", err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	fact := fs.String("fact", "", "fact table file (required)")
+	hierPath := fs.String("hier", "", "hierarchy spec JSON (required)")
+	out := fs.String("out", "", "output cube directory (required)")
+	agg := fs.String("agg", "", "aggregates, e.g. sum:0,count (default: sum of measure 0 + count)")
+	mem := fs.Int64("mem", 0, "memory budget in bytes (0 = in-memory build)")
+	pool := fs.Int("pool", 0, "signature pool capacity (0 = default 1,000,000; -1 disables)")
+	plus := fs.Bool("plus", false, "CURE+: post-process row-ids and bitmaps")
+	dr := fs.Bool("dr", false, "CURE_DR: store NT dimension values inline")
+	flat := fs.Bool("flat", false, "FCURE: flat cube at base levels only")
+	iceberg := fs.Int64("iceberg", 0, "min-count threshold (iceberg cube)")
+	fs.Parse(args)
+	if *fact == "" || *hierPath == "" || *out == "" {
+		fatalf("build needs -fact, -hier and -out")
+	}
+	fr, err := relation.OpenFactReader(*fact)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	numMeasures := fr.Schema().NumMeasures()
+	fr.Close()
+	stats, err := core.Build(core.Options{
+		Dir:          *out,
+		FactPath:     *fact,
+		Hier:         loadHier(*hierPath),
+		AggSpecs:     parseAggs(*agg, numMeasures),
+		MemoryBudget: *mem,
+		PoolCapacity: *pool,
+		Plus:         *plus,
+		DimsInline:   *dr,
+		Flat:         *flat,
+		Iceberg:      *iceberg,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode := "in-memory"
+	if stats.Partitioned {
+		mode = fmt.Sprintf("partitioned (L=%d, %d partitions, |N|=%d rows)",
+			stats.PartitionLevel, stats.NumPartitions, stats.NRows)
+	}
+	fmt.Printf("built cube in %v (%s)\n", stats.Elapsed, mode)
+	fmt.Printf(" nodes materialized: %d (%d relations)\n", stats.NodesMaterialized, stats.Relations)
+	fmt.Printf(" trivial tuples:     %d\n", stats.TTs)
+	fmt.Printf(" signatures:         %d (NTs %d, CAT groups %d, format %v)\n",
+		stats.Pool.Total, stats.Pool.NTs, stats.Pool.CatGroups, stats.CatFormat)
+	fmt.Printf(" cube size:          %d bytes (NT %d, TT %d, CAT %d, AGG %d, bitmap %d)\n",
+		stats.Sizes.Total(), stats.Sizes.NT, stats.Sizes.TT, stats.Sizes.CAT, stats.Sizes.Agg, stats.Sizes.Bitmap)
+}
+
+func openEngine(fs *flag.FlagSet, cube *string) *query.Engine {
+	if *cube == "" {
+		fatalf("missing -cube")
+	}
+	eng, err := query.OpenDefault(*cube)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return eng
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory")
+	fs.Parse(args)
+	eng := openEngine(fs, cube)
+	defer eng.Close()
+	m := eng.Manifest()
+	fmt.Printf("fact table:     %s (%d rows)\n", m.FactFile, m.FactRows)
+	fmt.Printf("aggregates:     %d\n", m.NumAggrs())
+	fmt.Printf("CAT format:     %v\n", m.CatFormat)
+	fmt.Printf("variants:       plus=%v dims-inline=%v iceberg=%d\n", m.Plus, m.DimsInline, m.Iceberg)
+	if m.PartitionLevel >= 0 {
+		fmt.Printf("partitioned at: level %d of %s\n", m.PartitionLevel, eng.Hier().Dims[0].Name)
+	}
+	fmt.Printf("lattice nodes:  %d total, %d materialized\n", eng.Enum().NumNodes(), len(m.Nodes))
+	fmt.Printf("AGGREGATES:     %d tuples\n", m.AggRows)
+	fmt.Printf("size:           %d bytes (NT %d, TT %d, CAT %d, AGG %d, bitmap %d)\n",
+		m.Sizes.Total(), m.Sizes.NT, m.Sizes.TT, m.Sizes.CAT, m.Sizes.Agg, m.Sizes.Bitmap)
+	var dims []string
+	for _, d := range eng.Hier().Dims {
+		var lv []string
+		for l := 0; l < d.AllLevel(); l++ {
+			lv = append(lv, fmt.Sprintf("%s(%d)", d.LevelName(l), d.Card(l)))
+		}
+		dims = append(dims, fmt.Sprintf("%s: %s", d.Name, strings.Join(lv, " → ")))
+	}
+	fmt.Printf("schema:\n %s\n", strings.Join(dims, "\n "))
+}
+
+func cmdNodes(args []string) {
+	fs := flag.NewFlagSet("nodes", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory")
+	fs.Parse(args)
+	eng := openEngine(fs, cube)
+	defer eng.Close()
+	enum := eng.Enum()
+	if enum.NumNodes() > 10_000 {
+		fatalf("lattice has %d nodes; listing only supported for small lattices", enum.NumNodes())
+	}
+	for _, id := range enum.AllNodes() {
+		n, err := eng.NodeCount(id)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%6d  %-40s %10d tuples\n", id, enum.Name(id), n)
+	}
+}
+
+// parseLevels turns "Class,Retailer,ALL,ALL" (names or indices) into a
+// level vector.
+func parseLevels(eng *query.Engine, s string) []int {
+	hier := eng.Hier()
+	parts := strings.Split(s, ",")
+	if len(parts) != hier.NumDims() {
+		fatalf("-levels needs %d comma-separated entries (one per dimension)", hier.NumDims())
+	}
+	levels := make([]int, len(parts))
+	for d, raw := range parts {
+		raw = strings.TrimSpace(raw)
+		dim := hier.Dims[d]
+		if strings.EqualFold(raw, "ALL") || raw == "*" {
+			levels[d] = dim.AllLevel()
+			continue
+		}
+		if idx, err := strconv.Atoi(raw); err == nil && idx >= 0 && idx <= dim.AllLevel() {
+			levels[d] = idx
+			continue
+		}
+		found := -1
+		for l := 0; l < dim.AllLevel(); l++ {
+			if strings.EqualFold(dim.LevelName(l), raw) {
+				found = l
+				break
+			}
+		}
+		if found < 0 {
+			fatalf("dimension %s has no level %q", dim.Name, raw)
+		}
+		levels[d] = found
+	}
+	return levels
+}
+
+func cmdQuery(args []string, iceberg bool) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory")
+	levelsFlag := fs.String("levels", "", "one level per dimension, by name/index/ALL")
+	limit := fs.Int("limit", 20, "max rows to print (0 = all)")
+	minCount := fs.Float64("min", 1, "iceberg: HAVING count(*) > min")
+	dictPath := fs.String("dict", "", "dictionary JSON from 'curectl import' to decode base-level codes")
+	fs.Parse(args)
+	eng := openEngine(fs, cube)
+	defer eng.Close()
+	if *levelsFlag == "" {
+		fatalf("missing -levels")
+	}
+	levels := parseLevels(eng, *levelsFlag)
+	id := eng.Enum().Encode(levels)
+	fmt.Printf("node %d (%s)\n", id, eng.Enum().Name(id))
+
+	// Optional dictionary decoding: base-level codes print as their
+	// original strings (coarser levels have no dictionary entries unless
+	// the hierarchy was derived with csvload.BuildDim).
+	var dict *csvload.Dictionary
+	if *dictPath != "" {
+		var err error
+		if dict, err = csvload.LoadDictionary(*dictPath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	hier := eng.Hier()
+	active := make([]int, 0, hier.NumDims())
+	for d, l := range levels {
+		if !hier.Dims[d].IsAll(l) {
+			active = append(active, d)
+		}
+	}
+	renderDim := func(i int, code int32) string {
+		d := active[i]
+		if dict != nil && levels[d] == 0 && d < len(dict.Dims) {
+			if v := dict.Dims[d].Value(code); v != "" {
+				return v
+			}
+		}
+		return fmt.Sprintf("%d", code)
+	}
+	printed := 0
+	total := 0
+	emit := func(row query.Row) error {
+		total++
+		if *limit == 0 || printed < *limit {
+			printed++
+			cells := make([]string, 0, len(row.Dims)+len(row.Aggrs))
+			for i, d := range row.Dims {
+				cells = append(cells, renderDim(i, d))
+			}
+			for _, a := range row.Aggrs {
+				cells = append(cells, fmt.Sprintf("%g", a))
+			}
+			fmt.Println(" " + strings.Join(cells, "\t"))
+		}
+		return nil
+	}
+	var err error
+	if iceberg {
+		countIdx := -1
+		for i, s := range eng.Manifest().AggSpecs {
+			if s.Func == relation.AggCount {
+				countIdx = i
+				break
+			}
+		}
+		if countIdx < 0 {
+			fatalf("cube has no COUNT aggregate; iceberg queries need one")
+		}
+		err = eng.IcebergQuery(id, countIdx, *minCount, emit)
+	} else {
+		err = eng.NodeQuery(id, emit)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if printed < total {
+		fmt.Printf(" … and %d more rows\n", total-printed)
+	}
+	fmt.Printf("%d rows\n", total)
+}
+
+// cmdImport loads a CSV file into the binary fact format, writing the
+// dictionaries and a flat hierarchy template next to it.
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV file with a header row (required)")
+	dims := fs.String("dims", "", "comma-separated dimension column names (required)")
+	measures := fs.String("measures", "", "comma-separated measure column names")
+	out := fs.String("out", "", "output fact file (required)")
+	sep := fs.String("sep", ",", "field separator")
+	fs.Parse(args)
+	if *csvPath == "" || *dims == "" || *out == "" {
+		fatalf("import needs -csv, -dims and -out")
+	}
+	spec := csvload.Spec{DimCols: splitList(*dims), MeasureCols: splitList(*measures)}
+	if r := []rune(*sep); len(r) == 1 {
+		spec.Comma = r[0]
+	}
+	ft, dict, err := csvload.LoadFile(*csvPath, spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := relation.WriteFactFile(*out, ft); err != nil {
+		fatalf("%v", err)
+	}
+	if err := dict.Save(*out + ".dict.json"); err != nil {
+		fatalf("%v", err)
+	}
+	// Flat hierarchy template the user can extend with levels.
+	type levelSpec struct {
+		Name string `json:"name"`
+		Card int32  `json:"card"`
+	}
+	type dimSpec struct {
+		Name   string      `json:"name"`
+		Levels []levelSpec `json:"levels"`
+	}
+	tmpl := struct {
+		Dims []dimSpec `json:"dims"`
+	}{}
+	for _, d := range dict.Dims {
+		tmpl.Dims = append(tmpl.Dims, dimSpec{Name: d.Name, Levels: []levelSpec{{Name: d.Name, Card: d.Card()}}})
+	}
+	data, err := json.MarshalIndent(tmpl, "", " ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out+".hier.json", data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("imported %d rows into %s (+ .dict.json, .hier.json)\n", ft.Len(), *out)
+	for _, d := range dict.Dims {
+		fmt.Printf(" %-20s %6d distinct values\n", d.Name, d.Card())
+	}
+}
+
+// cmdUpdate merges a delta fact file into an existing cube, producing a
+// refreshed cube directory.
+func cmdUpdate(args []string) {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	cube := fs.String("cube", "", "existing cube directory (required)")
+	out := fs.String("out", "", "refreshed cube directory (required)")
+	deltaPath := fs.String("delta", "", "delta fact file (required)")
+	fs.Parse(args)
+	if *cube == "" || *out == "" || *deltaPath == "" {
+		fatalf("update needs -cube, -out and -delta")
+	}
+	delta, err := relation.ReadFactFile(*deltaPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stats, err := update.Apply(update.Options{OldDir: *cube, NewDir: *out, Delta: delta})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("merged %d delta rows across %d nodes in %v\n", stats.DeltaRows, stats.Nodes, stats.Elapsed)
+	fmt.Printf(" inserted %d, updated %d, carried %d tuples (%d TTs)\n",
+		stats.Inserted, stats.Updated, stats.Carried, stats.TTs)
+	fmt.Printf(" refreshed cube size: %d bytes\n", stats.Sizes.Total())
+}
+
+// cmdVerify recomputes sampled nodes from the fact table and compares
+// them against the cube.
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory (required)")
+	sample := fs.Int("sample", 0, "number of random nodes to verify (0 = all)")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	files := fs.Bool("files", false, "also verify relation-file checksums")
+	fs.Parse(args)
+	if *files {
+		r, err := storage.OpenReader(*cube)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		bad, err := r.VerifyChecksums()
+		r.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(bad) > 0 {
+			fmt.Printf("CORRUPTED files: %v\n", bad)
+			os.Exit(1)
+		}
+		fmt.Println("file checksums OK")
+	}
+	eng := openEngine(fs, cube)
+	defer eng.Close()
+	rep, err := eng.Verify(*sample, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("verified %d nodes, %d tuples\n", rep.NodesChecked, rep.TuplesChecked)
+	if rep.OK() {
+		fmt.Println("cube is consistent with its fact table")
+		return
+	}
+	for _, e := range rep.Errors {
+		fmt.Println(" MISMATCH:", e)
+	}
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// cmdDiff compares two cube directories on their query answers.
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	a := fs.String("a", "", "first cube directory (required)")
+	b := fs.String("b", "", "second cube directory (required)")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		fatalf("diff needs -a and -b")
+	}
+	ea, err := query.OpenDefault(*a)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer ea.Close()
+	eb, err := query.OpenDefault(*b)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer eb.Close()
+	rep, err := query.Diff(ea, eb)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("compared %d nodes (%d vs %d tuples)\n", rep.NodesCompared, rep.TuplesA, rep.TuplesB)
+	if rep.Equal() {
+		fmt.Println("cubes are query-equivalent")
+		return
+	}
+	for _, d := range rep.Differences {
+		fmt.Println(" DIFF:", d)
+	}
+	os.Exit(1)
+}
+
+// cmdEstimate predicts cube sizes and the partitioning plan without
+// building anything.
+func cmdEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	hierPath := fs.String("hier", "", "hierarchy spec JSON (required)")
+	rows := fs.Int64("rows", 0, "fact-table row count (required)")
+	measures := fs.Int("measures", 1, "number of measure columns")
+	aggs := fs.Int("aggs", 2, "number of cube aggregates")
+	mem := fs.Int64("mem", 0, "memory budget in bytes (0 = unlimited)")
+	top := fs.Int("top", 10, "largest nodes to list")
+	fs.Parse(args)
+	if *hierPath == "" || *rows <= 0 {
+		fatalf("estimate needs -hier and -rows")
+	}
+	hier := loadHier(*hierPath)
+	schema := &relation.Schema{}
+	for _, d := range hier.Dims {
+		schema.DimNames = append(schema.DimNames, d.Name)
+	}
+	for i := 0; i < *measures; i++ {
+		schema.MeasureNames = append(schema.MeasureNames, fmt.Sprintf("M%d", i))
+	}
+	plan, err := estimate.BuildPlan(hier, schema, *rows, *mem, *aggs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	est := plan.Estimate
+	fmt.Printf("fact table: %d rows × %d B = %d bytes\n", *rows, plan.RowBytes, plan.TableBytes)
+	fmt.Printf("lattice:    %d nodes\n", len(est.Nodes))
+	fmt.Printf("expected cube tuples:        %.3g (uncondensed)\n", est.FullTuples)
+	fmt.Printf("expected non-trivial tuples: %.3g\n", est.AggregatedTuples)
+	fmt.Printf("expected size: %.3g bytes uncondensed, ≥%.3g bytes condensed (CURE)\n", est.FullBytes, est.CondensedBytes)
+	switch {
+	case plan.InMemory:
+		fmt.Println("strategy: in-memory build")
+	case plan.ChoiceErr != "":
+		fmt.Printf("strategy: partitioning infeasible — %s\n", plan.ChoiceErr)
+	default:
+		c := plan.Choice
+		fmt.Printf("strategy: partition on %s level %d → %d partitions of ≈%d bytes, |N| ≈ %d bytes\n",
+			hier.Dims[0].Name, c.Level, c.NumPartitions, c.PartitionBytes, c.NBytes)
+	}
+	fmt.Printf("largest nodes:\n")
+	for i, n := range est.Nodes {
+		if i >= *top {
+			break
+		}
+		fmt.Printf(" %-40s %12.0f tuples (%.0f%% trivial)\n", n.Name, n.Tuples, n.TrivialFraction*100)
+	}
+}

@@ -1,0 +1,84 @@
+// Package cure is a from-scratch Go implementation of CURE ("CURE for
+// Cubes: Cubing Using a ROLAP Engine", Morfonios & Ioannidis, VLDB 2006):
+// a ROLAP data-cube construction method that handles dimension
+// hierarchies end to end — a hierarchical execution plan with pipelined
+// shared sorting, external partitioning for fact tables larger than
+// memory, and a redundancy-eliminating relational storage format (trivial
+// tuples, normal tuples, and common-aggregate tuples with a shared
+// AGGREGATES relation).
+//
+// This root package is a thin facade over the implementation packages:
+//
+//   - internal/hierarchy — dimensions, levels, roll-up maps
+//   - internal/relation  — fact tables and their binary persistence
+//   - internal/core      — the CURE algorithm and its variants
+//   - internal/query     — node queries over materialized cubes
+//   - internal/gen       — benchmark dataset generators
+//   - internal/bench     — the paper's experiment suite
+//
+// Quick start:
+//
+//	stats, err := cure.Build(cure.BuildOptions{
+//	    Dir:      "cube/",
+//	    FactPath: "sales.bin",
+//	    Hier:     schema,
+//	    AggSpecs: []cure.AggSpec{{Func: cure.AggSum, Measure: 0}},
+//	})
+//	eng, err := cure.OpenCube("cube/")
+//	err = eng.NodeQuery(id, func(row cure.Row) error { ... })
+//
+// See the runnable programs under examples/ and the experiment harness in
+// cmd/cubebench.
+package cure
+
+import (
+	"cure/internal/core"
+	"cure/internal/lattice"
+	"cure/internal/query"
+	"cure/internal/relation"
+)
+
+// Re-exported building blocks of the public API.
+type (
+	// BuildOptions configures a cube build; see core.Options.
+	BuildOptions = core.Options
+	// BuildStats reports a completed build.
+	BuildStats = core.BuildStats
+	// AggSpec defines one aggregate (function + measure column).
+	AggSpec = relation.AggSpec
+	// FactTable is the in-memory columnar fact table.
+	FactTable = relation.FactTable
+	// Engine answers node queries over a cube directory.
+	Engine = query.Engine
+	// Row is one node-query result tuple.
+	Row = query.Row
+	// NodeID identifies a lattice node.
+	NodeID = lattice.NodeID
+	// QueryOptions configures cache behaviour of a query engine.
+	QueryOptions = query.Options
+)
+
+// Aggregate functions.
+const (
+	AggSum   = relation.AggSum
+	AggCount = relation.AggCount
+	AggMin   = relation.AggMin
+	AggMax   = relation.AggMax
+)
+
+// Build constructs a cube from a fact table on disk, choosing between the
+// in-memory and externally partitioned paths by the memory budget.
+func Build(opts BuildOptions) (*BuildStats, error) { return core.Build(opts) }
+
+// BuildFromTable persists an in-memory fact table into the cube directory
+// and cubes it in memory.
+func BuildFromTable(t *FactTable, opts BuildOptions) (*BuildStats, error) {
+	return core.BuildFromTable(t, opts)
+}
+
+// OpenCube opens a cube directory for querying with full caching (the
+// paper's recommended configuration).
+func OpenCube(dir string) (*Engine, error) { return query.OpenDefault(dir) }
+
+// OpenCubeWith opens a cube with explicit cache settings.
+func OpenCubeWith(dir string, opts QueryOptions) (*Engine, error) { return query.Open(dir, opts) }

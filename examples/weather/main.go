@@ -1,0 +1,92 @@
+// Weather: cube a Sep85L-style cloud-report dataset (flat, with dense
+// areas) and compare the storage formats and query behaviour the paper
+// evaluates on this dataset: CURE vs CURE+ sizes, the effect of the
+// fact-table cache on query time, and the NT/TT/CAT breakdown.
+//
+//	go run ./examples/weather
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cure/internal/core"
+	"cure/internal/gen"
+	"cure/internal/lattice"
+	"cure/internal/query"
+	"cure/internal/relation"
+)
+
+func main() {
+	// A 2% sample of Sep85L's shape: 9 dimensions, ~20K reports, 30% of
+	// them inside a dense sub-domain (the paper's "dense areas").
+	ft, hier, err := gen.Sep85LLike(0.02, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weather reports: %d rows, %d dimensions, %d lattice nodes\n",
+		ft.Len(), hier.NumDims(), hier.NumNodes())
+
+	root, err := os.MkdirTemp("", "weather")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	specs := []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}}
+	for _, v := range []struct {
+		label string
+		plus  bool
+	}{
+		{"CURE", false}, {"CURE+", true},
+	} {
+		dir := filepath.Join(root, v.label)
+		stats, err := core.BuildFromTable(ft, core.Options{Dir: dir, Hier: hier, AggSpecs: specs, Plus: v.plus})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: built in %v\n", v.label, stats.Elapsed)
+		fmt.Printf("  trivial tuples %d, NTs %d, CATs in %d groups (format %v)\n",
+			stats.TTs, stats.Pool.NTs, stats.Pool.CatGroups, stats.CatFormat)
+		fmt.Printf("  size %s (NT %s, TT %s, CAT %s, AGGREGATES %s, bitmaps %s)\n",
+			kb(stats.Sizes.Total()), kb(stats.Sizes.NT), kb(stats.Sizes.TT),
+			kb(stats.Sizes.CAT), kb(stats.Sizes.Agg), kb(stats.Sizes.Bitmap))
+	}
+
+	// The paper's Figure 17: how much the fact-table cache matters for
+	// query time (every TT/NT dereferences an R-rowid).
+	dir := filepath.Join(root, "CURE+")
+	workload := gen.NodeWorkload(queryEnum(dir), 200, 99)
+	fmt.Println("\nfact-cache sweep (200 random node queries):")
+	for _, frac := range []float64{0, 0.5, 1} {
+		eng, err := query.Open(dir, query.Options{CacheFraction: frac, PinAggregates: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		var rows int64
+		for _, id := range workload {
+			if err := eng.NodeQuery(id, func(query.Row) error { rows++; return nil }); err != nil {
+				log.Fatal(err)
+			}
+		}
+		hits, misses := eng.CacheStats()
+		fmt.Printf("  cache %.0f%%: %8v avg/query  (%d rows, %d hits / %d misses)\n",
+			frac*100, time.Since(start)/time.Duration(len(workload)), rows, hits, misses)
+		eng.Close()
+	}
+}
+
+func queryEnum(dir string) *lattice.Enum {
+	eng, err := query.OpenDefault(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	return eng.Enum()
+}
+
+func kb(b int64) string { return fmt.Sprintf("%.0fKB", float64(b)/(1<<10)) }

@@ -1,0 +1,3 @@
+module cure
+
+go 1.22

@@ -1,0 +1,135 @@
+package bitmap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetCount(t *testing.T) {
+	b := New(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	ids := []int64{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range ids {
+		b.Set(i)
+	}
+	for _, i := range ids {
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(2) || b.Get(198) {
+		t.Error("unset bit reads set")
+	}
+	if b.Get(-1) || b.Get(200) {
+		t.Error("out-of-range Get returned true")
+	}
+	if got := b.Count(); got != int64(len(ids)) {
+		t.Errorf("Count = %d, want %d", got, len(ids))
+	}
+}
+
+func TestSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set out of range did not panic")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	b := FromIDs(300, []int64{5, 250, 70, 71})
+	var got []int64
+	b.ForEach(func(i int64) bool {
+		got = append(got, i)
+		return true
+	})
+	if !reflect.DeepEqual(got, []int64{5, 70, 71, 250}) {
+		t.Errorf("ForEach order = %v", got)
+	}
+	got = got[:0]
+	b.ForEach(func(i int64) bool {
+		got = append(got, i)
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Errorf("early stop visited %d bits", len(got))
+	}
+}
+
+func TestIDsRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int64(nRaw) + 1
+		count := rng.Intn(int(n))
+		set := map[int64]bool{}
+		for i := 0; i < count; i++ {
+			set[int64(rng.Intn(int(n)))] = true
+		}
+		ids := make([]int64, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		b := FromIDs(n, ids)
+		back := b.IDs()
+		if int64(len(back)) != b.Count() || len(back) != len(set) {
+			return false
+		}
+		for i := 1; i < len(back); i++ {
+			if back[i] <= back[i-1] {
+				return false
+			}
+		}
+		for _, id := range back {
+			if !set[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalUnmarshal(t *testing.T) {
+	b := FromIDs(1000, []int64{0, 999, 512, 64})
+	back, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back.IDs(), b.IDs()) || back.Len() != b.Len() {
+		t.Error("round trip mismatch")
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated data accepted")
+	}
+	raw := b.Marshal()
+	raw = raw[:len(raw)-8]
+	if _, err := Unmarshal(raw); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestSizeBytesMatchesMarshal(t *testing.T) {
+	for _, n := range []int64{1, 63, 64, 65, 1000} {
+		b := New(n)
+		if got := int64(len(b.Marshal())); got != b.SizeBytes() {
+			t.Errorf("n=%d: Marshal len %d != SizeBytes %d", n, got, b.SizeBytes())
+		}
+	}
+}
+
+func TestDenserThanIDs(t *testing.T) {
+	// 1M-row domain: bitmap costs ~125KB; beats id lists above ~15.6K ids.
+	if DenserThanIDs(1_000_000, 1000) {
+		t.Error("sparse id set should prefer explicit ids")
+	}
+	if !DenserThanIDs(1_000_000, 100_000) {
+		t.Error("dense id set should prefer bitmap")
+	}
+}

@@ -1,0 +1,23 @@
+package bitmap
+
+import "testing"
+
+// FuzzUnmarshal hardens the bitmap decoder against arbitrary input: it
+// must reject inconsistent headers with an error, never panic or
+// over-allocate based on unvalidated lengths.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(New(100).Marshal())
+	f.Add(FromIDs(64, []int64{0, 63}).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded bitmap must round-trip.
+		if got := b.Marshal(); len(got) != int(b.SizeBytes()) {
+			t.Fatalf("marshal length %d != SizeBytes %d", len(got), b.SizeBytes())
+		}
+	})
+}

@@ -1,0 +1,508 @@
+// Package core implements the CURE algorithm itself (§6, Figure 13): the
+// bottom-up depth-first traversal of the hierarchical execution plan
+// (ExecutePlan / FollowEdge), trivial-tuple pruning, signature collection,
+// the in-memory and externally partitioned build paths, iceberg cubes,
+// and all the paper's variants — CURE, CURE+ (post-processed row-ids /
+// bitmaps), CURE_DR / CURE_DR+ (NTs with inline dimension values), and
+// FCURE / FCURE+ (flat cubes over hierarchical data).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"cure/internal/hierarchy"
+	"cure/internal/partition"
+	"cure/internal/relation"
+	"cure/internal/signature"
+	"cure/internal/storage"
+)
+
+// DefaultPoolCapacity matches the paper's experimental setting of a
+// 1,000,000-signature pool.
+const DefaultPoolCapacity = 1_000_000
+
+// Options configures a cube build.
+type Options struct {
+	// Dir is the output cube directory.
+	Dir string
+	// FactPath is the fact table on disk. Leave empty when building with
+	// BuildFromTable, which persists the table into the cube directory.
+	FactPath string
+	// Hier is the hierarchical schema (one Dim per fact-table dimension,
+	// in column order).
+	Hier *hierarchy.Schema
+	// AggSpecs defines the cube's aggregates.
+	AggSpecs []relation.AggSpec
+	// MemoryBudget in bytes decides between the in-memory and the
+	// externally partitioned path and sizes the partitions. Zero means
+	// unlimited (always in-memory).
+	MemoryBudget int64
+	// PoolCapacity is the signature-pool size in signatures
+	// (DefaultPoolCapacity if zero; use NoPool for a zero-length pool).
+	PoolCapacity int
+	// DimsInline selects CURE_DR (NTs store projected dimension values).
+	DimsInline bool
+	// Plus selects CURE+ (post-processing: sorted row-ids, bitmaps).
+	Plus bool
+	// Flat selects FCURE: the hierarchy is flattened to base levels and
+	// only the 2^D flat nodes are built.
+	Flat bool
+	// Iceberg is the min-count threshold: groups of fewer source tuples
+	// are neither stored nor refined (BUC-style iceberg cubes). Values
+	// ≤ 1 build the complete cube.
+	Iceberg int64
+	// ForceQuickSort disables counting sort (skew ablation).
+	ForceQuickSort bool
+	// ShortPlan builds with the shortest hierarchical plan (the paper's
+	// P2, Figure 3) instead of CURE's tallest plan (P3) — the §3.1 plan
+	// ablation. In-memory builds only.
+	ShortPlan bool
+	// Parallelism is the number of concurrent partition workers in the
+	// out-of-core path (≤1 = sequential, the paper's setting). Each
+	// worker gets its own signature pool; parallel builds therefore fix
+	// the CAT format up front (format (b), or the NT fallback for a
+	// single aggregate) instead of deciding it from statistics — the
+	// formats differ only in size, never in correctness.
+	Parallelism int
+	// ForceFormat overrides the dynamic CAT-format decision.
+	ForceFormat signature.Format
+	// TempDir holds partition files (default: Dir/tmp).
+	TempDir string
+	// KeepPartitions leaves partition files on disk after the build
+	// (for inspection); by default they are removed.
+	KeepPartitions bool
+}
+
+// NoPool is the PoolCapacity sentinel for a zero-length signature pool
+// (disables CAT identification entirely).
+const NoPool = -1
+
+// BuildStats reports what a build did.
+type BuildStats struct {
+	// Partitioned reports whether the external path ran.
+	Partitioned bool
+	// PartitionLevel is L when partitioned (-1 otherwise).
+	PartitionLevel int
+	// NumPartitions is the partition count when partitioned.
+	NumPartitions int
+	// NRows is the row count of the in-memory node N when partitioned.
+	NRows int
+	// TTs is the number of trivial tuples written.
+	TTs int64
+	// Pool carries the signature-pool statistics (NT/CAT split).
+	Pool signature.Stats
+	// CatFormat is the locked CAT storage format.
+	CatFormat signature.Format
+	// Sizes is the cube's on-disk footprint.
+	Sizes storage.Sizes
+	// NodesMaterialized counts lattice nodes holding at least one tuple.
+	NodesMaterialized int
+	// Relations counts non-empty per-node relations (≤ 3 per node), the
+	// quantity the paper contrasts with the 3·2^D worst case.
+	Relations int
+	// Elapsed is the wall-clock build time.
+	Elapsed time.Duration
+}
+
+// Build constructs the cube of the fact table at opts.FactPath following
+// Algorithm CURE of Figure 13: if the table fits in the memory budget it
+// is loaded and cubed in memory; otherwise it is partitioned on the
+// selected level L of dimension 0, the partitions are cubed one at a time
+// (covering all nodes with dimension 0 at levels ≤ L), and the rest of
+// the cube is computed from the in-memory node N.
+func Build(opts Options) (*BuildStats, error) {
+	start := time.Now()
+	if err := validate(&opts); err != nil {
+		return nil, err
+	}
+	fr, err := relation.OpenFactReader(opts.FactPath)
+	if err != nil {
+		return nil, err
+	}
+	rows := fr.Rows()
+	rBytes := rows * int64(fr.RowWidth())
+	if fr.Schema().NumDims() != opts.Hier.NumDims() {
+		fr.Close()
+		return nil, fmt.Errorf("core: fact table has %d dims, hierarchy %d", fr.Schema().NumDims(), opts.Hier.NumDims())
+	}
+
+	effHier := opts.Hier
+	if opts.Flat {
+		effHier = opts.Hier.Flatten()
+	}
+
+	var resolver storage.DimResolver
+	var table *relation.FactTable
+	inMemory := opts.MemoryBudget <= 0 || rBytes <= opts.MemoryBudget/2
+	if inMemory {
+		fr.Close()
+		if table, err = relation.ReadFactFile(opts.FactPath); err != nil {
+			return nil, err
+		}
+		resolver = func(rrowid int64, dst []int32) error {
+			for d := range dst {
+				dst[d] = table.Dims[d][rrowid]
+			}
+			return nil
+		}
+	} else {
+		defer fr.Close()
+		// The CURE_DR compaction resolves one fact row per NT tuple; a
+		// paged read-through cache keeps that from degenerating into one
+		// random read per tuple.
+		resolver = newPagedResolver(fr)
+	}
+
+	if opts.ShortPlan && !inMemory {
+		return nil, errors.New("core: ShortPlan (P2 ablation) supports in-memory builds only")
+	}
+	w, err := storage.NewWriter(storage.Options{
+		Dir:        opts.Dir,
+		Hier:       effHier,
+		AggSpecs:   opts.AggSpecs,
+		FactFile:   factRef(opts.Dir, opts.FactPath),
+		FactRows:   rows,
+		DimsInline: opts.DimsInline,
+		Plus:       opts.Plus,
+		ShortPlan:  opts.ShortPlan,
+		Resolver:   resolver,
+		Iceberg:    opts.Iceberg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	poolCap := opts.PoolCapacity
+	switch {
+	case poolCap == NoPool:
+		poolCap = 0
+	case poolCap == 0:
+		poolCap = DefaultPoolCapacity
+	}
+	if opts.Parallelism > 1 && !inMemory && opts.ForceFormat == signature.FormatUndecided {
+		// Independent worker pools cannot share the dynamic format
+		// decision; pin the always-correct format up front.
+		if len(opts.AggSpecs) == 1 {
+			opts.ForceFormat = signature.FormatNT
+		} else {
+			opts.ForceFormat = signature.FormatB
+		}
+	}
+	pool, err := signature.NewPool(len(opts.AggSpecs), poolCap, w)
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	pool.ForceFormat = opts.ForceFormat
+
+	stats := &BuildStats{PartitionLevel: -1}
+	if inMemory {
+		err = buildInMemory(table, effHier, opts, pool, w, stats)
+	} else {
+		err = buildPartitioned(opts, effHier, rBytes, pool, w, stats)
+	}
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	if err := pool.Flush(); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	m, err := w.Finalize(pool.Format())
+	if err != nil {
+		return nil, err
+	}
+	stats.Pool = pool.Stats()
+	stats.CatFormat = m.CatFormat
+	stats.Sizes = m.Sizes
+	stats.NodesMaterialized = len(m.Nodes)
+	for _, nm := range m.Nodes {
+		if nm.NTRows > 0 {
+			stats.Relations++
+		}
+		if nm.TTRows > 0 {
+			stats.Relations++
+		}
+		if nm.CATRows > 0 {
+			stats.Relations++
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// BuildFromTable persists an in-memory fact table into the cube directory
+// and builds its cube in memory (no partitioning).
+func BuildFromTable(t *relation.FactTable, opts Options) (*BuildStats, error) {
+	if opts.FactPath != "" {
+		return nil, errors.New("core: BuildFromTable must not set FactPath")
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("core: missing cube directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	opts.FactPath = filepath.Join(opts.Dir, "fact.bin")
+	if err := relation.WriteFactFile(opts.FactPath, t); err != nil {
+		return nil, err
+	}
+	opts.MemoryBudget = 0
+	return Build(opts)
+}
+
+func validate(opts *Options) error {
+	if opts.Dir == "" {
+		return errors.New("core: missing cube directory")
+	}
+	if opts.FactPath == "" {
+		return errors.New("core: missing fact path")
+	}
+	if opts.Hier == nil {
+		return errors.New("core: missing hierarchy schema")
+	}
+	if len(opts.AggSpecs) == 0 {
+		return errors.New("core: need at least one aggregate")
+	}
+	if opts.TempDir == "" {
+		opts.TempDir = filepath.Join(opts.Dir, "tmp")
+	}
+	return nil
+}
+
+// factRef records the fact file relative to the cube dir when it lives
+// inside it (keeping such cubes relocatable) and as an absolute path
+// otherwise (so queries resolve it regardless of the working directory).
+func factRef(dir, factPath string) string {
+	absDir, err1 := filepath.Abs(dir)
+	absFact, err2 := filepath.Abs(factPath)
+	if err1 != nil || err2 != nil {
+		return factPath
+	}
+	if rel, err := filepath.Rel(absDir, absFact); err == nil && filepath.Dir(rel) == "." && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return absFact
+}
+
+func buildInMemory(table *relation.FactTable, hier *hierarchy.Schema, opts Options, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+	ex := newExecutor(table, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+	ex.shortPlan = opts.ShortPlan
+	return ex.run(stats)
+}
+
+func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+	// Memory split: half the budget for a loaded partition, a quarter
+	// for node N (the signature pool and sort scratch take the rest).
+	partBudget := opts.MemoryBudget / 2
+	nBudget := opts.MemoryBudget / 4
+	choice, err := partition.SelectLevel(hier.Dims[0], rBytes, partBudget, nBudget)
+	if err != nil {
+		// §4's omitted extension: fall back to partitioning on a pair of
+		// dimensions when no single level of dimension 0 is feasible.
+		if hier.NumDims() >= 2 {
+			if pairChoice, perr := partition.SelectLevelPair(hier.Dims[0], hier.Dims[1], rBytes, partBudget, nBudget); perr == nil {
+				return buildPartitionedPair(opts, hier, pairChoice, pool, w, stats)
+			}
+		}
+		return err
+	}
+	res, err := partition.Partition(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
+	if err != nil {
+		return err
+	}
+	if !opts.KeepPartitions {
+		defer os.RemoveAll(opts.TempDir)
+	}
+	L := choice.Level
+	w.SetPartitionLevel(L)
+	stats.Partitioned = true
+	stats.PartitionLevel = L
+	stats.NumPartitions = choice.NumPartitions
+	stats.NRows = res.N.Len()
+
+	// Phase 1: every partition covers the nodes with dimension 0 at
+	// levels [0, L] (Figure 13 lines 13–16: FollowEdge at level L).
+	// Partitions are disjoint and sound, so with Parallelism > 1 they
+	// are cubed by concurrent workers, each with its own signature pool
+	// (the writer serializes the actual appends).
+	if opts.Parallelism > 1 {
+		if err := runPartitionsParallel(res.PartitionPaths, L, hier, opts, pool, w, stats); err != nil {
+			return err
+		}
+	} else {
+		for _, pp := range res.PartitionPaths {
+			pt, err := relation.ReadFactFile(pp)
+			if err != nil {
+				return err
+			}
+			if pt.Len() == 0 {
+				continue
+			}
+			ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+			if err := ex.runPartition(L, stats); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 2: all remaining nodes from N (lines 17–20: start dimension
+	// 0 at its top level, never descend below L+1).
+	if res.N.Len() > 0 {
+		ex := newExecutor(res.N, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		ex.baseLevel[0] = L + 1
+		return ex.run(stats)
+	}
+	return nil
+}
+
+// runPartitionsParallel cubes the partitions with a bounded worker pool.
+// Each worker owns a signature pool (flushed when its partition is done)
+// so classification needs no cross-worker coordination; the shared writer
+// is armed for locking. Trivial-tuple counts merge into stats at the end.
+func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, opts Options, mainPool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+	w.Lock()
+	workers := opts.Parallelism
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	poolCap := opts.PoolCapacity
+	switch {
+	case poolCap == NoPool:
+		poolCap = 0
+	case poolCap == 0:
+		poolCap = DefaultPoolCapacity
+	}
+	// Split the signature budget across workers so parallel builds honor
+	// roughly the same memory envelope as sequential ones.
+	if poolCap > 0 {
+		poolCap = poolCap / workers
+		if poolCap < 1024 {
+			poolCap = 1024
+		}
+	}
+
+	type result struct {
+		tts int64
+		err error
+	}
+	jobs := make(chan string)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var tts int64
+			for pp := range jobs {
+				pt, err := relation.ReadFactFile(pp)
+				if err != nil {
+					results <- result{tts, err}
+					return
+				}
+				if pt.Len() == 0 {
+					continue
+				}
+				pool, err := signature.NewPool(len(opts.AggSpecs), poolCap, w)
+				if err != nil {
+					results <- result{tts, err}
+					return
+				}
+				pool.ForceFormat = opts.ForceFormat
+				ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+				var local BuildStats
+				if err := ex.runPartition(level, &local); err != nil {
+					results <- result{tts, err}
+					return
+				}
+				if err := pool.Flush(); err != nil {
+					results <- result{tts, err}
+					return
+				}
+				tts += local.TTs
+			}
+			results <- result{tts, nil}
+		}()
+	}
+	for _, pp := range paths {
+		jobs <- pp
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	var firstErr error
+	for r := range results {
+		stats.TTs += r.tts
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	// The main pool serves the N phase; pin its format to match the
+	// workers' so the shared AGGREGATES stays consistent.
+	mainPool.ForceFormat = opts.ForceFormat
+	return firstErr
+}
+
+// buildPartitionedPair is the out-of-core path when partitioning needs a
+// pair of dimensions (§4's omitted extension): partitions sound on
+// {A_L, B_M} cover the nodes with both dimensions at fine levels; the
+// in-memory node N1 covers dimension 0 above L; N2 covers the remaining
+// nodes (dimension 0 fine, dimension 1 above M).
+func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+	res, err := partition.PartitionPair(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
+	if err != nil {
+		return err
+	}
+	if !opts.KeepPartitions {
+		defer os.RemoveAll(opts.TempDir)
+	}
+	L, M := choice.LevelA, choice.LevelB
+	w.SetPartitionLevelPair(L, M)
+	stats.Partitioned = true
+	stats.PartitionLevel = L
+	stats.NumPartitions = choice.NumPartitions
+	stats.NRows = res.N1.Len() + res.N2.Len()
+
+	// Phase 1: each partition covers the subtrees rooted at {A_i, B_M}
+	// for every i ∈ [0, L].
+	for _, pp := range res.PartitionPaths {
+		pt, err := relation.ReadFactFile(pp)
+		if err != nil {
+			return err
+		}
+		if pt.Len() == 0 {
+			continue
+		}
+		ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		for la := 0; la <= L; la++ {
+			if err := ex.runPartitionPair(la, M, stats); err != nil {
+				return err
+			}
+		}
+	}
+	// Phase 2: N1 yields every node with dimension 0 above L (or ALL).
+	if res.N1.Len() > 0 {
+		ex := newExecutor(res.N1, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		ex.baseLevel[0] = L + 1
+		if err := ex.run(stats); err != nil {
+			return err
+		}
+	}
+	// Phase 3: N2 yields the nodes with dimension 0 at levels ≤ L and
+	// dimension 1 above M (or ALL), one root {A_i} per level.
+	if res.N2.Len() > 0 {
+		ex := newExecutor(res.N2, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		for la := 0; la <= L; la++ {
+			if err := ex.runN2Root(la, M+1, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/relation"
+	"cure/internal/signature"
+	"cure/internal/sortutil"
+	"cure/internal/storage"
+)
+
+// executor runs the ExecutePlan / FollowEdge recursion of Figure 13 over
+// one in-memory input table (the full fact table, one partition, or the
+// node N). Several executors may share one signature pool and one cube
+// writer across phases of a partitioned build.
+type executor struct {
+	table *relation.FactTable
+	hier  *hierarchy.Schema
+	specs []relation.AggSpec
+	enum  *lattice.Enum
+	pool  *signature.Pool
+	w     *storage.Writer
+
+	// countCol is the measure column holding per-row source-tuple counts
+	// when the input is pre-aggregated (node N), or -1 when every input
+	// row is one source tuple.
+	countCol int
+	// minCount is the iceberg threshold (1 = complete cube).
+	minCount int64
+
+	sorter sortutil.Sorter
+	// shortPlan switches the traversal to the paper's P2 (every solid
+	// edge adds a dimension at *each* of its levels; no dashed edges).
+	shortPlan bool
+	idx       []int32
+	// levels[d] is the hierarchy level of dimension d in the node being
+	// computed; AllLevel means the dimension is aggregated away.
+	levels []int
+	// baseLevel[d] is the most detailed level the dashed edges may reach
+	// for dimension d (0 normally; L+1 for dimension 0 in the N phase).
+	baseLevel []int
+	aggBuf    []float64
+	ttWritten *int64
+}
+
+func newExecutor(t *relation.FactTable, hier *hierarchy.Schema, specs []relation.AggSpec, countCol int, pool *signature.Pool, w *storage.Writer, iceberg int64, forceQuick bool) *executor {
+	ex := &executor{
+		table:    t,
+		hier:     hier,
+		specs:    specs,
+		enum:     w.Enum(),
+		pool:     pool,
+		w:        w,
+		countCol: countCol,
+		minCount: iceberg,
+	}
+	if ex.minCount < 1 {
+		ex.minCount = 1
+	}
+	ex.sorter.ForceQuick = forceQuick
+	ex.idx = sortutil.Iota(nil, t.Len())
+	ex.levels = make([]int, hier.NumDims())
+	ex.baseLevel = make([]int, hier.NumDims())
+	for d, dim := range hier.Dims {
+		ex.levels[d] = dim.AllLevel()
+	}
+	ex.aggBuf = make([]float64, len(specs))
+	return ex
+}
+
+// run executes the full plan from the root (∅) node — Figure 13 line 8
+// (in-memory path) and line 20 (N phase).
+func (ex *executor) run(stats *BuildStats) error {
+	ex.ttWritten = &stats.TTs
+	if ex.table.Len() == 0 {
+		return nil
+	}
+	return ex.executePlan(0, len(ex.idx), 0)
+}
+
+// runPartition executes the partition phase for one partition: dimension
+// 0 enters directly at level L (Figure 13 lines 12–15), covering exactly
+// the nodes with dimension 0 at levels ≤ L.
+func (ex *executor) runPartition(level int, stats *BuildStats) error {
+	ex.ttWritten = &stats.TTs
+	if ex.table.Len() == 0 {
+		return nil
+	}
+	ex.levels[0] = level
+	err := ex.followEdge(0, len(ex.idx), 0)
+	ex.levels[0] = ex.hier.Dims[0].AllLevel()
+	return err
+}
+
+// executePlan computes the tuple of the current node (identified by
+// ex.levels) for the segment idx[lo:hi], then follows the plan's solid
+// edges (adding each dimension ≥ dim at its levels directly under ALL)
+// and dashed edges (refining dimension dim-1 one dashed-tree step).
+func (ex *executor) executePlan(lo, hi, dim int) error {
+	// Source-tuple count: row count for raw input, summed counts for the
+	// pre-aggregated node N.
+	var srcCount int64
+	if ex.countCol < 0 {
+		srcCount = int64(hi - lo)
+	} else {
+		col := ex.table.Measures[ex.countCol]
+		for j := lo; j < hi; j++ {
+			srcCount += int64(col[ex.idx[j]])
+		}
+	}
+	if srcCount < ex.minCount {
+		return nil // iceberg pruning: neither stored nor refined
+	}
+	node := ex.enum.Encode(ex.levels)
+	if srcCount == 1 {
+		// Trivial tuple: store only the R-rowid, once, at this (least
+		// detailed) node, and prune — the whole plan subtree shares it.
+		(*ex.ttWritten)++
+		return ex.w.WriteTT(node, ex.table.RowID(int(ex.idx[lo])))
+	}
+	aggs := relation.AggregateRange(ex.table, ex.specs, ex.idx, lo, hi, ex.aggBuf)
+	minRowid := ex.table.RowID(int(ex.idx[lo]))
+	for j := lo + 1; j < hi; j++ {
+		if id := ex.table.RowID(int(ex.idx[j])); id < minRowid {
+			minRowid = id
+		}
+	}
+	if err := ex.pool.Add(node, minRowid, aggs); err != nil {
+		return err
+	}
+
+	numDims := ex.hier.NumDims()
+	if ex.shortPlan {
+		// Shortest plan (P2): every edge adds one dimension, at each of
+		// its levels; refinement never happens in place, so sorts are
+		// not shared across levels of a dimension.
+		for d := dim; d < numDims; d++ {
+			dimD := ex.hier.Dims[d]
+			for l := dimD.AllLevel() - 1; l >= 0; l-- {
+				ex.levels[d] = l
+				if err := ex.followEdge(lo, hi, d); err != nil {
+					return err
+				}
+			}
+			ex.levels[d] = dimD.AllLevel()
+		}
+		return nil
+	}
+	// Solid edges: bring in each remaining dimension at its level(s)
+	// directly under ALL (rule 1; several for complex hierarchies).
+	for d := dim; d < numDims; d++ {
+		dimD := ex.hier.Dims[d]
+		for _, top := range dimD.DashChildren(dimD.AllLevel()) {
+			if top < ex.baseLevel[d] {
+				continue
+			}
+			ex.levels[d] = top
+			if err := ex.followEdge(lo, hi, d); err != nil {
+				return err
+			}
+		}
+		ex.levels[d] = dimD.AllLevel()
+	}
+	// Dashed edges: refine the rightmost grouping dimension one step
+	// down its dashed tree (rule 2 / modified rule 2).
+	if dim >= 1 {
+		dimP := ex.hier.Dims[dim-1]
+		cur := ex.levels[dim-1]
+		for _, c := range dimP.DashChildren(cur) {
+			if c < ex.baseLevel[dim-1] {
+				continue
+			}
+			ex.levels[dim-1] = c
+			if err := ex.followEdge(lo, hi, dim-1); err != nil {
+				return err
+			}
+		}
+		ex.levels[dim-1] = cur
+	}
+	return nil
+}
+
+// followEdge re-sorts the segment idx[lo:hi] on dimension dim at its
+// current level and recurses into every run of equal codes (Figure 13's
+// FollowEdge).
+func (ex *executor) followEdge(lo, hi, dim int) error {
+	key := ex.keyer(dim)
+	seg := ex.idx[lo:hi]
+	ex.sorter.Sort(seg, key)
+	runLo := 0
+	for runLo < len(seg) {
+		code := key.Key(seg[runLo])
+		runHi := runLo + 1
+		for runHi < len(seg) && key.Key(seg[runHi]) == code {
+			runHi++
+		}
+		if err := ex.executePlan(lo+runLo, lo+runHi, dim+1); err != nil {
+			return err
+		}
+		runLo = runHi
+	}
+	return nil
+}
+
+// keyer builds the sort key for dimension dim at its current level.
+func (ex *executor) keyer(dim int) sortutil.Keyer {
+	d := ex.hier.Dims[dim]
+	lvl := ex.levels[dim]
+	col := ex.table.Dims[dim]
+	if lvl == 0 {
+		return sortutil.SliceKeyer{Col: col, Hi: d.Card(0)}
+	}
+	return sortutil.MappedKeyer{Col: col, Map: d.Levels[lvl].Map, Hi: d.Card(lvl)}
+}
+
+// runPartitionPair executes one pair-partitioning root {A_la, B_lb}: the
+// segment tree fixes dimension 0 at level la and enters dimension 1 at
+// level lb, covering exactly the plan subtree rooted at that node (§4's
+// pair extension). Dimension 0 never descends here — it is never the
+// rightmost grouping dimension inside this subtree.
+func (ex *executor) runPartitionPair(la, lb int, stats *BuildStats) error {
+	ex.ttWritten = &stats.TTs
+	if ex.table.Len() == 0 {
+		return nil
+	}
+	ex.levels[0] = la
+	ex.levels[1] = lb
+	defer func() {
+		ex.levels[0] = ex.hier.Dims[0].AllLevel()
+		ex.levels[1] = ex.hier.Dims[1].AllLevel()
+	}()
+	key0 := ex.keyer(0)
+	ex.sorter.Sort(ex.idx, key0)
+	lo := 0
+	for lo < len(ex.idx) {
+		code := key0.Key(ex.idx[lo])
+		hi := lo + 1
+		for hi < len(ex.idx) && key0.Key(ex.idx[hi]) == code {
+			hi++
+		}
+		// Inner segmentation on dimension 1 at level lb.
+		if err := ex.followEdge(lo, hi, 1); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// runN2Root executes one N2-phase root {A_la} over the pre-aggregated
+// node N2: dimension 1 may only descend to level lbCap (= M+1), and
+// dimension 0 is pinned at la.
+func (ex *executor) runN2Root(la, lbCap int, stats *BuildStats) error {
+	ex.ttWritten = &stats.TTs
+	if ex.table.Len() == 0 {
+		return nil
+	}
+	ex.levels[0] = la
+	ex.baseLevel[0] = la // block dashed descent of dimension 0
+	ex.baseLevel[1] = lbCap
+	defer func() {
+		ex.levels[0] = ex.hier.Dims[0].AllLevel()
+		ex.baseLevel[0] = 0
+		ex.baseLevel[1] = 0
+	}()
+	return ex.followEdge(0, len(ex.idx), 0)
+}

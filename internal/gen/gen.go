@@ -1,0 +1,323 @@
+// Package gen produces the datasets of the paper's evaluation (§7):
+// zipf-skewed flat synthetic tables (dimensionality and skew sweeps),
+// the APB-1 benchmark fact table with its exact hierarchy schema, and
+// synthetic surrogates for the two real datasets (CovType and Sep85L)
+// built from their documented shapes — see DESIGN.md for the substitution
+// rationale. All generators are deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/relation"
+)
+
+// Zipf samples codes [0, card) with probability ∝ 1/(rank+1)^s. s = 0 is
+// uniform. It inverts a precomputed CDF, so sampling is O(log card).
+type Zipf struct {
+	rng *rand.Rand
+	cum []float64
+}
+
+// NewZipf builds a sampler over card values with exponent s.
+func NewZipf(rng *rand.Rand, card int32, s float64) *Zipf {
+	cum := make([]float64, card)
+	total := 0.0
+	for i := int32(0); i < card; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{rng: rng, cum: cum}
+}
+
+// Next draws one code.
+func (z *Zipf) Next() int32 {
+	u := z.rng.Float64()
+	return int32(sort.SearchFloat64s(z.cum, u))
+}
+
+// SyntheticSpec parameterizes the flat synthetic datasets of Figures
+// 19–22: T tuples over D dimensions with cardinalities C_i = T/i and a
+// shared zipf factor Z.
+type SyntheticSpec struct {
+	Dims   int
+	Tuples int
+	Zipf   float64
+	Seed   int64
+}
+
+// Cards returns the per-dimension cardinalities C_i = T/i (1-based i),
+// floored at 2.
+func (s SyntheticSpec) Cards() []int32 {
+	cards := make([]int32, s.Dims)
+	for i := range cards {
+		c := s.Tuples / (i + 1)
+		if c < 2 {
+			c = 2
+		}
+		cards[i] = int32(c)
+	}
+	return cards
+}
+
+// Synthetic generates the table and its (flat) hierarchy schema.
+func Synthetic(spec SyntheticSpec) (*relation.FactTable, *hierarchy.Schema, error) {
+	if spec.Dims < 1 || spec.Tuples < 1 {
+		return nil, nil, fmt.Errorf("gen: bad synthetic spec %+v", spec)
+	}
+	cards := spec.Cards()
+	dims := make([]*hierarchy.Dim, spec.Dims)
+	dimNames := make([]string, spec.Dims)
+	for i := range dims {
+		dimNames[i] = fmt.Sprintf("D%d", i)
+		dims[i] = hierarchy.NewFlatDim(dimNames[i], cards[i])
+	}
+	hier, err := hierarchy.NewSchema(dims...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	samplers := make([]*Zipf, spec.Dims)
+	for i := range samplers {
+		samplers[i] = NewZipf(rng, cards[i], spec.Zipf)
+	}
+	schema := &relation.Schema{DimNames: dimNames, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, spec.Tuples)
+	row := make([]int32, spec.Dims)
+	for t := 0; t < spec.Tuples; t++ {
+		for d := range row {
+			row[d] = samplers[d].Next()
+		}
+		ft.Append(row, []float64{float64(rng.Intn(100))})
+	}
+	return ft, hier, nil
+}
+
+// linear builds a linear dimension from a chain of cardinalities using
+// contiguous roll-up maps.
+func linear(name string, levelNames []string, cards []int32) *hierarchy.Dim {
+	maps := make([][]int32, len(cards)-1)
+	var acc []int32
+	for i := 1; i < len(cards); i++ {
+		step := hierarchy.BuildContiguousMap(cards[i-1], cards[i])
+		if acc == nil {
+			acc = step
+		} else {
+			acc = hierarchy.ComposeMaps(acc, step)
+		}
+		maps[i-1] = acc
+	}
+	d, err := hierarchy.NewLinearDim(name, levelNames, cards, maps)
+	if err != nil {
+		panic("gen: " + err.Error()) // static definitions cannot fail
+	}
+	return d
+}
+
+// APBSchema returns the APB-1 hierarchy exactly as §7 specifies it:
+// Product Code(6500)→Class(435)→Group(215)→Family(54)→Line(11)→Division(3),
+// Customer Store(640)→Retailer(71), Time Month(17)→Quarter(6)→Year(2),
+// Channel Base(9). Total nodes: 7·3·4·2 = 168.
+func APBSchema() *hierarchy.Schema {
+	product := linear("Product",
+		[]string{"Code", "Class", "Group", "Family", "Line", "Division"},
+		[]int32{6500, 435, 215, 54, 11, 3})
+	customer := linear("Customer", []string{"Store", "Retailer"}, []int32{640, 71})
+	timeDim := linear("Time", []string{"Month", "Quarter", "Year"}, []int32{17, 6, 2})
+	channel := hierarchy.NewFlatDim("Channel", 9)
+	s, err := hierarchy.NewSchema(product, customer, timeDim, channel)
+	if err != nil {
+		panic("gen: " + err.Error())
+	}
+	return s
+}
+
+// APBTuples returns the fact-table size for a density factor: §7 reports
+// 1,239,300 tuples at density 0.1 and 400× that at density 40, i.e.
+// 12,393,000 tuples per unit density.
+func APBTuples(density float64) int {
+	return int(12_393_000 * density)
+}
+
+// APBSchemaRelation is APB-1's relational schema: the four dimensions and
+// the two measures (Unit Sales, Dollar Sales).
+func APBSchemaRelation() *relation.Schema {
+	return &relation.Schema{
+		DimNames:     []string{"Product", "Customer", "Time", "Channel"},
+		MeasureNames: []string{"UnitSales", "DollarSales"},
+	}
+}
+
+// APB generates an APB-1-style fact table in memory. Dimension values are
+// mildly skewed (zipf 0.3) as retail activity concentrates on popular
+// products and stores; measures are small integers so aggregate values
+// are exact in float64 and coincidental CATs can occur as in real data.
+func APB(density float64, seed int64) (*relation.FactTable, *hierarchy.Schema, error) {
+	tuples := APBTuples(density)
+	if tuples < 1 {
+		return nil, nil, fmt.Errorf("gen: APB density %v yields no tuples", density)
+	}
+	hier := APBSchema()
+	ft := relation.NewFactTable(APBSchemaRelation(), tuples)
+	g := newAPBSampler(seed, hier)
+	dims := make([]int32, 4)
+	meas := make([]float64, 2)
+	for t := 0; t < tuples; t++ {
+		g.next(dims, meas)
+		ft.Append(dims, meas)
+	}
+	return ft, hier, nil
+}
+
+// APBToFile streams an APB-1-style fact table to path without holding it
+// in memory — the path used for the out-of-core densities.
+func APBToFile(path string, density float64, seed int64) (int64, *hierarchy.Schema, error) {
+	tuples := APBTuples(density)
+	if tuples < 1 {
+		return 0, nil, fmt.Errorf("gen: APB density %v yields no tuples", density)
+	}
+	hier := APBSchema()
+	fw, err := relation.NewFactWriter(path, APBSchemaRelation(), false)
+	if err != nil {
+		return 0, nil, err
+	}
+	g := newAPBSampler(seed, hier)
+	dims := make([]int32, 4)
+	meas := make([]float64, 2)
+	for t := 0; t < tuples; t++ {
+		g.next(dims, meas)
+		if err := fw.Write(dims, meas); err != nil {
+			fw.Close()
+			return 0, nil, err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return 0, nil, err
+	}
+	return int64(tuples), hier, nil
+}
+
+type apbSampler struct {
+	rng      *rand.Rand
+	samplers []*Zipf
+}
+
+func newAPBSampler(seed int64, hier *hierarchy.Schema) *apbSampler {
+	rng := rand.New(rand.NewSource(seed))
+	g := &apbSampler{rng: rng}
+	for _, d := range hier.Dims {
+		g.samplers = append(g.samplers, NewZipf(rng, d.Card(0), 0.3))
+	}
+	return g
+}
+
+func (g *apbSampler) next(dims []int32, meas []float64) {
+	for d := range dims {
+		dims[d] = g.samplers[d].Next()
+	}
+	unit := float64(1 + g.rng.Intn(9))
+	price := float64(1 + g.rng.Intn(50))
+	meas[0] = unit
+	meas[1] = unit * price
+}
+
+// CovTypeLike generates a surrogate for the Forest CoverType dataset:
+// 10 dimensions, 581,012 tuples at scale 1, with the cardinalities of the
+// quantized real dataset commonly used in cubing studies and moderate
+// skew. scale ∈ (0, 1] shrinks the tuple count for laptop-scale runs
+// (cardinalities are capped at the tuple count so small scales remain
+// meaningful).
+func CovTypeLike(scale float64, seed int64) (*relation.FactTable, *hierarchy.Schema, error) {
+	cards := []int32{1978, 361, 67, 551, 700, 5827, 207, 185, 255, 5827}
+	names := []string{
+		"Elevation", "Aspect", "Slope", "HDistHydro", "VDistHydro",
+		"HDistRoad", "Hillshade9", "HillshadeNoon", "Hillshade3", "HDistFire",
+	}
+	return surrogate(581_012, cards, names, 0.7, 0, scale, seed)
+}
+
+// Sep85LLike generates a surrogate for the Sep85L cloud-report dataset:
+// 9 dimensions, 1,015,367 tuples at scale 1. Sep85L's distinguishing
+// property in the paper is its dense areas, which force many non-trivial
+// tuples and make CURE pay for signature sorting; denseFraction of the
+// tuples are drawn from a tiny sub-domain to reproduce exactly that.
+func Sep85LLike(scale float64, seed int64) (*relation.FactTable, *hierarchy.Schema, error) {
+	cards := []int32{7037, 352, 179, 101, 26, 182, 38, 48, 10}
+	names := []string{
+		"Station", "PresentWeather", "PastWeather", "TotalCloud",
+		"LowCloud", "MidCloud", "HighCloud", "Visibility", "WindSpeed",
+	}
+	return surrogate(1_015_367, cards, names, 0.5, 0.3, scale, seed)
+}
+
+// surrogate generates a flat dataset of the given shape. denseFraction of
+// the tuples are confined to the lowest ~3% of each dimension's codes,
+// creating the dense areas that generate aggregationally redundant
+// tuples.
+func surrogate(fullTuples int, cards []int32, names []string, skew, denseFraction, scale float64, seed int64) (*relation.FactTable, *hierarchy.Schema, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, nil, fmt.Errorf("gen: scale %v outside (0,1]", scale)
+	}
+	tuples := int(float64(fullTuples) * scale)
+	if tuples < 1 {
+		tuples = 1
+	}
+	for i, c := range cards {
+		if int(c) > tuples {
+			cards[i] = int32(tuples)
+		}
+	}
+	dims := make([]*hierarchy.Dim, len(cards))
+	for i := range dims {
+		dims[i] = hierarchy.NewFlatDim(names[i], cards[i])
+	}
+	hier, err := hierarchy.NewSchema(dims...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samplers := make([]*Zipf, len(cards))
+	denseCards := make([]int32, len(cards))
+	for i := range samplers {
+		samplers[i] = NewZipf(rng, cards[i], skew)
+		dc := cards[i] / 32
+		if dc < 1 {
+			dc = 1
+		}
+		denseCards[i] = dc
+	}
+	schema := &relation.Schema{DimNames: names, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, tuples)
+	row := make([]int32, len(cards))
+	for t := 0; t < tuples; t++ {
+		dense := rng.Float64() < denseFraction
+		for d := range row {
+			if dense {
+				row[d] = rng.Int31n(denseCards[d])
+			} else {
+				row[d] = samplers[d].Next()
+			}
+		}
+		ft.Append(row, []float64{float64(rng.Intn(10))})
+	}
+	return ft, hier, nil
+}
+
+// NodeWorkload draws n node ids uniformly at random from the lattice —
+// §7's "1,000 random node queries, which perform no selection".
+func NodeWorkload(enum *lattice.Enum, n int, seed int64) []lattice.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]lattice.NodeID, n)
+	for i := range out {
+		out[i] = lattice.NodeID(rng.Int63n(enum.NumNodes()))
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cure/internal/hierarchy"
+	"cure/internal/relation"
+)
+
+// PairChoice is the outcome of pair partition-level selection — the
+// extension §4 of the paper mentions for the rare case where no level of
+// the first dimension alone yields enough sound partitions ("the
+// partitioning algorithm can be extended properly to work on pairs of
+// dimensions"; the paper omits it for space, we implement it).
+//
+// Partitions are sound on the node {A_L, B_M}; two in-memory nodes take
+// over everything the partitions cannot cover:
+//
+//	N1 = A_{L+1} B_0 C_0 …  (nodes with dimension 0 above level L or ALL)
+//	N2 = A_0 B_{M+1} C_0 …  (nodes with dimension 0 ≤ L but dimension 1
+//	                         above level M or ALL)
+type PairChoice struct {
+	// LevelA and LevelB are L and M.
+	LevelA, LevelB int
+	// NumPartitions is ⌈|R|/M_budget⌉, achievable because
+	// |A_L|·|B_M| ≥ that count.
+	NumPartitions int
+	// PartitionBytes is the expected partition size under uniformity.
+	PartitionBytes int64
+	// N1Bytes and N2Bytes are the estimated sizes of the two in-memory
+	// nodes.
+	N1Bytes, N2Bytes int64
+}
+
+// SelectLevelPair picks the maximum (L, M) (lexicographically, L first)
+// such that the pair-value space is large enough for the required number
+// of sound partitions and both in-memory nodes fit their budget. It is
+// the fallback for SelectLevel.
+func SelectLevelPair(dimA, dimB *hierarchy.Dim, rBytes, partBudget, nBudget int64) (PairChoice, error) {
+	if rBytes <= 0 || partBudget <= 0 || nBudget <= 0 {
+		return PairChoice{}, fmt.Errorf("partition: non-positive sizes (R=%d, M=%d, N budget=%d)", rBytes, partBudget, nBudget)
+	}
+	need := (rBytes + partBudget - 1) / partBudget
+	if need < 1 {
+		need = 1
+	}
+	baseA := int64(dimA.Card(0))
+	baseB := int64(dimB.Card(0))
+	for la := dimA.AllLevel() - 1; la >= 0; la-- {
+		n1 := rBytes * int64(dimA.Card(la+1)) / baseA
+		if n1 > nBudget {
+			continue
+		}
+		for lb := dimB.AllLevel() - 1; lb >= 0; lb-- {
+			if int64(dimA.Card(la))*int64(dimB.Card(lb)) < need {
+				continue
+			}
+			n2 := rBytes * int64(dimB.Card(lb+1)) / baseB
+			if n2 > nBudget {
+				continue
+			}
+			return PairChoice{
+				LevelA:         la,
+				LevelB:         lb,
+				NumPartitions:  int(need),
+				PartitionBytes: (rBytes + need - 1) / need,
+				N1Bytes:        n1,
+				N2Bytes:        n2,
+			}, nil
+		}
+	}
+	return PairChoice{}, fmt.Errorf("partition: no level pair of (%s, %s) yields %d sound partitions with N1/N2 under %d bytes",
+		dimA.Name, dimB.Name, need, nBudget)
+}
+
+// PairResult is what PartitionPair produces.
+type PairResult struct {
+	Choice         PairChoice
+	PartitionPaths []string
+	// N1 groups by (A_{L+1}, B_0, C_0 …); N2 by (A_0, B_{M+1}, C_0 …).
+	// Both carry representative base codes in the coarsened column, the
+	// pre-aggregated measure columns, a source-count column, and minimum
+	// original row-ids.
+	N1, N2 *relation.FactTable
+	// NSpecs re-aggregates either node under the original specs.
+	NSpecs []relation.AggSpec
+	// NCountCol is the index of the source-count measure column.
+	NCountCol int
+}
+
+// PartitionPair streams the fact table once, routing each tuple by its
+// (A_L, B_M) pair code and hash-building both in-memory nodes in the same
+// pass. Both affected dimensions must be hierarchy-consistent above their
+// partitioning levels.
+func PartitionPair(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice PairChoice) (res *PairResult, err error) {
+	if hier.NumDims() < 2 {
+		return nil, fmt.Errorf("partition: pair partitioning needs at least 2 dimensions")
+	}
+	fr, err := relation.OpenFactReader(factPath)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	if fr.Schema().NumDims() != hier.NumDims() {
+		return nil, fmt.Errorf("partition: fact table has %d dims, hierarchy %d", fr.Schema().NumDims(), hier.NumDims())
+	}
+	dimA, dimB := hier.Dims[0], hier.Dims[1]
+	for l := choice.LevelA + 2; l < dimA.AllLevel(); l++ {
+		if !dimA.FactorsThrough(choice.LevelA+1, l) {
+			return nil, fmt.Errorf("partition: level %s of %s does not factor through %s",
+				dimA.LevelName(l), dimA.Name, dimA.LevelName(choice.LevelA+1))
+		}
+	}
+	for l := choice.LevelB + 2; l < dimB.AllLevel(); l++ {
+		if !dimB.FactorsThrough(choice.LevelB+1, l) {
+			return nil, fmt.Errorf("partition: level %s of %s does not factor through %s",
+				dimB.LevelName(l), dimB.Name, dimB.LevelName(choice.LevelB+1))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	numParts := choice.NumPartitions
+	writers := make([]*relation.FactWriter, numParts)
+	paths := make([]string, numParts)
+	defer func() {
+		if err != nil {
+			for _, w := range writers {
+				if w != nil {
+					w.Close()
+				}
+			}
+		}
+	}()
+	for i := range writers {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("pair_%04d.bin", i))
+		if writers[i], err = relation.NewFactWriter(paths[i], fr.Schema(), true); err != nil {
+			return nil, err
+		}
+	}
+
+	numDims := hier.NumDims()
+	nSchema := &relation.Schema{
+		DimNames:     fr.Schema().DimNames,
+		MeasureNames: append(append([]string{}, aggColNames(specs)...), "__count"),
+	}
+	acc1 := newNodeAccumulator(nSchema, specs, numDims)
+	acc2 := newNodeAccumulator(nSchema, specs, numDims)
+
+	dims := make([]int32, numDims)
+	meas := make([]float64, fr.Schema().NumMeasures())
+	buf := make([]byte, fr.RowWidth())
+	key := make([]byte, 4*numDims)
+	cardBM := int64(dimB.Card(choice.LevelB))
+	for r := int64(0); r < fr.Rows(); r++ {
+		if err := fr.ReadRaw(r, buf); err != nil {
+			return nil, err
+		}
+		fr.DecodeRow(buf, dims, meas)
+		pair := int64(dimA.MapCode(dims[0], choice.LevelA))*cardBM + int64(dimB.MapCode(dims[1], choice.LevelB))
+		if err := writers[pair%int64(numParts)].WriteWithRowID(dims, meas, r); err != nil {
+			return nil, err
+		}
+		// N1 key: dim0 at L+1, everything else at base.
+		binary.LittleEndian.PutUint32(key[0:], uint32(dimA.MapCode(dims[0], choice.LevelA+1)))
+		for d := 1; d < numDims; d++ {
+			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+		}
+		acc1.add(string(key), dims, meas, r)
+		// N2 key: dim1 at M+1, everything else at base.
+		binary.LittleEndian.PutUint32(key[0:], uint32(dims[0]))
+		binary.LittleEndian.PutUint32(key[4:], uint32(dimB.MapCode(dims[1], choice.LevelB+1)))
+		for d := 2; d < numDims; d++ {
+			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+		}
+		acc2.add(string(key), dims, meas, r)
+	}
+	for _, w := range writers {
+		if cerr := w.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return &PairResult{
+		Choice:         choice,
+		PartitionPaths: paths,
+		N1:             acc1.finish(),
+		N2:             acc2.finish(),
+		NSpecs:         DerivedSpecs(specs, len(specs)),
+		NCountCol:      len(specs),
+	}, nil
+}
+
+// nodeAccumulator hash-builds one in-memory node during the partitioning
+// pass (shared by the single-dimension and pair paths).
+type nodeAccumulator struct {
+	table  *relation.FactTable
+	groups map[string]int32
+	aggs   []*relation.Aggregator
+	specs  []relation.AggSpec
+}
+
+func newNodeAccumulator(schema *relation.Schema, specs []relation.AggSpec, numDims int) *nodeAccumulator {
+	return &nodeAccumulator{
+		table:  relation.NewFactTable(schema, 1024),
+		groups: map[string]int32{},
+		specs:  specs,
+	}
+}
+
+func (a *nodeAccumulator) add(key string, dims []int32, meas []float64, rowid int64) {
+	gi, ok := a.groups[key]
+	if !ok {
+		gi = int32(a.table.Len())
+		a.groups[key] = gi
+		placeholder := make([]float64, len(a.specs)+1)
+		a.table.AppendWithRowID(dims, placeholder, rowid)
+		a.aggs = append(a.aggs, relation.NewAggregator(a.specs))
+	}
+	a.aggs[gi].AddValues(meas)
+	if rowid < a.table.RowID(int(gi)) {
+		a.table.RowIDs[gi] = rowid
+	}
+}
+
+func (a *nodeAccumulator) finish() *relation.FactTable {
+	vals := make([]float64, len(a.specs))
+	for gi, agg := range a.aggs {
+		vals = agg.Values(vals)
+		for i, v := range vals {
+			a.table.Measures[i][gi] = v
+		}
+		a.table.Measures[len(a.specs)][gi] = float64(agg.Count())
+	}
+	return a.table
+}

@@ -1,0 +1,236 @@
+// Package partition implements CURE's external partitioning (§4): the
+// selection of the partitioning level L on the first dimension
+// (observations 1–3 and Table 1's feasibility arithmetic), and the
+// single-pass partitioner that splits a disk-resident fact table into
+// memory-sized partitions sound on A_L while simultaneously hash-building
+// the in-memory node N = A_{L+1} B_0 C_0 ….
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cure/internal/hierarchy"
+	"cure/internal/relation"
+)
+
+// LevelChoice is the outcome of partition-level selection, carrying the
+// quantities Table 1 of the paper reports.
+type LevelChoice struct {
+	// Level is L, the level of dimension 0 partitioned on.
+	Level int
+	// NumPartitions is the number of partitions (⌈|R|/M⌉, achievable
+	// because |A_L| ≥ that count).
+	NumPartitions int
+	// PartitionBytes is the expected partition size under uniformity.
+	PartitionBytes int64
+	// Ratio is |A_0| / |A_{L+1}|, the shrink factor of node N relative
+	// to R (observation 2).
+	Ratio float64
+	// NBytes is the estimated size of node N.
+	NBytes int64
+}
+
+// SelectLevel picks the maximum level L of dim such that (a) partitioning
+// on A_L can produce ⌈rBytes/partBudget⌉ memory-sized sound partitions
+// (requires |A_L| ≥ that many distinct values) and (b) the node N built
+// at level L+1 fits in nBudget, estimated as rBytes·|A_{L+1}|/|A_0|
+// (observation 2; |A_{LT+1}| = 1, i.e. dimension 0 projected out).
+//
+// It returns an error when no level qualifies; the paper notes the
+// algorithm can then be extended to pairs of dimensions, an extension we
+// do not implement.
+func SelectLevel(dim *hierarchy.Dim, rBytes, partBudget, nBudget int64) (LevelChoice, error) {
+	if rBytes <= 0 || partBudget <= 0 || nBudget <= 0 {
+		return LevelChoice{}, fmt.Errorf("partition: non-positive sizes (R=%d, M=%d, N budget=%d)", rBytes, partBudget, nBudget)
+	}
+	need := (rBytes + partBudget - 1) / partBudget
+	if need < 1 {
+		need = 1
+	}
+	base := int64(dim.Card(0))
+	for l := dim.AllLevel() - 1; l >= 0; l-- {
+		if int64(dim.Card(l)) < need {
+			continue
+		}
+		nextCard := int64(dim.Card(l + 1)) // 1 when l+1 is ALL
+		nBytes := rBytes * nextCard / base
+		if nBytes > nBudget {
+			continue
+		}
+		return LevelChoice{
+			Level:          l,
+			NumPartitions:  int(need),
+			PartitionBytes: (rBytes + need - 1) / need,
+			Ratio:          float64(base) / float64(nextCard),
+			NBytes:         nBytes,
+		}, nil
+	}
+	return LevelChoice{}, fmt.Errorf("partition: no level of %s yields %d sound partitions with N under %d bytes", dim.Name, need, nBudget)
+}
+
+// Result is what Partition produces: the partition files (sound on A_L)
+// and the in-memory node N.
+type Result struct {
+	Choice LevelChoice
+	// PartitionPaths are the fact files of the partitions, each carrying
+	// original row-ids.
+	PartitionPaths []string
+	// N is the in-memory node A_{L+1} B_0 C_0 …. Its dimension-0 column
+	// holds *representative base codes* (the first base code seen per
+	// A_{L+1} group); its measures are the Y aggregate columns followed
+	// by a source-tuple count column; RowIDs hold the minimum original
+	// row-id per group.
+	N *relation.FactTable
+	// NSpecs are the aggregate specs to use when cubing over N: the
+	// original specs rewritten against N's pre-aggregated columns.
+	NSpecs []relation.AggSpec
+	// NCountCol is the index of N's source-count measure column.
+	NCountCol int
+}
+
+// DerivedSpecs rewrites aggregate specs for re-aggregation over a table
+// whose measure column i holds the already-aggregated value of spec i and
+// whose column countCol holds source counts: COUNT becomes SUM of counts,
+// the distributive functions re-apply to their own column.
+func DerivedSpecs(specs []relation.AggSpec, countCol int) []relation.AggSpec {
+	out := make([]relation.AggSpec, len(specs))
+	for i, s := range specs {
+		switch s.Func {
+		case relation.AggCount:
+			out[i] = relation.AggSpec{Func: relation.AggSum, Measure: countCol}
+		default:
+			out[i] = relation.AggSpec{Func: s.Func, Measure: i}
+		}
+	}
+	return out
+}
+
+// Partition streams the fact table at factPath once, routing each tuple
+// to its partition (A_L code modulo the partition count — sound on A_L
+// because equal codes always land together) and folding it into the
+// in-memory node N via hashing. Partition files are written under dir.
+//
+// The dimension-0 hierarchy must be consistent above L (level maps for
+// l > L+1 must factor through level L+1), which Partition verifies; this
+// is what lets N's representative base codes stand in for their groups at
+// every coarser level.
+func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice) (res *Result, err error) {
+	fr, err := relation.OpenFactReader(factPath)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	if fr.Schema().NumDims() != hier.NumDims() {
+		return nil, fmt.Errorf("partition: fact table has %d dims, hierarchy %d", fr.Schema().NumDims(), hier.NumDims())
+	}
+	dim0 := hier.Dims[0]
+	for l := choice.Level + 2; l < dim0.AllLevel(); l++ {
+		if !dim0.FactorsThrough(choice.Level+1, l) {
+			return nil, fmt.Errorf("partition: level %s of %s does not factor through %s; N cannot represent it",
+				dim0.LevelName(l), dim0.Name, dim0.LevelName(choice.Level+1))
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	numParts := choice.NumPartitions
+	writers := make([]*relation.FactWriter, numParts)
+	paths := make([]string, numParts)
+	defer func() {
+		if err != nil {
+			for _, w := range writers {
+				if w != nil {
+					w.Close()
+				}
+			}
+		}
+	}()
+	for i := range writers {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("part_%04d.bin", i))
+		if writers[i], err = relation.NewFactWriter(paths[i], fr.Schema(), true); err != nil {
+			return nil, err
+		}
+	}
+
+	// N accumulates groups keyed by (A_{L+1} code, base codes of the
+	// other dimensions).
+	numDims := hier.NumDims()
+	numMeasures := fr.Schema().NumMeasures()
+	nSchema := &relation.Schema{
+		DimNames:     fr.Schema().DimNames,
+		MeasureNames: append(append([]string{}, aggColNames(specs)...), "__count"),
+	}
+	n := relation.NewFactTable(nSchema, 1024)
+	groups := map[string]int32{}
+	key := make([]byte, 4*numDims)
+	dims := make([]int32, numDims)
+	meas := make([]float64, numMeasures)
+	nRow := make([]float64, len(specs)+1)
+	aggs := make([]*relation.Aggregator, 0) // one per group; parallel to n rows
+	buf := make([]byte, fr.RowWidth())
+
+	levelL := choice.Level
+	for r := int64(0); r < fr.Rows(); r++ {
+		if err := fr.ReadRaw(r, buf); err != nil {
+			return nil, err
+		}
+		fr.DecodeRow(buf, dims, meas)
+		code := dim0.MapCode(dims[0], levelL)
+		p := int(code) % numParts
+		if err := writers[p].WriteWithRowID(dims, meas, r); err != nil {
+			return nil, err
+		}
+
+		// Fold into N.
+		binary.LittleEndian.PutUint32(key[0:], uint32(dim0.MapCode(dims[0], levelL+1)))
+		for d := 1; d < numDims; d++ {
+			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+		}
+		gi, ok := groups[string(key)]
+		if !ok {
+			gi = int32(n.Len())
+			groups[string(key)] = gi
+			n.AppendWithRowID(dims, nRow[:len(specs)+1], r) // placeholder measures
+			aggs = append(aggs, relation.NewAggregator(specs))
+		}
+		// Aggregate directly from the decoded measures.
+		aggs[gi].AddValues(meas)
+		if r < n.RowID(int(gi)) {
+			n.RowIDs[gi] = r
+		}
+	}
+	for _, w := range writers {
+		if cerr := w.Close(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	// Materialize aggregate values and counts into N's measure columns.
+	vals := make([]float64, len(specs))
+	for gi, a := range aggs {
+		vals = a.Values(vals)
+		for i, v := range vals {
+			n.Measures[i][gi] = v
+		}
+		n.Measures[len(specs)][gi] = float64(a.Count())
+	}
+	return &Result{
+		Choice:         choice,
+		PartitionPaths: paths,
+		N:              n,
+		NSpecs:         DerivedSpecs(specs, len(specs)),
+		NCountCol:      len(specs),
+	}, nil
+}
+
+// aggColNames derives N's aggregate column names.
+func aggColNames(specs []relation.AggSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = fmt.Sprintf("%s_%d", s.Func, i)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package query answers node queries over materialized CURE cubes: it
+// reassembles each node's tuples from its NT/TT/CAT relations (collecting
+// shared trivial tuples along the execution-plan path), dereferences
+// R-rowids against the original fact table through a budgeted page cache
+// (§5.3 identifies the fact table and AGGREGATES as the two relations
+// worth caching), and provides iceberg count queries and roll-up /
+// drill-down navigation.
+package query
+
+import (
+	"container/list"
+
+	"cure/internal/relation"
+)
+
+// cachePageRows is the number of fact rows per cache page.
+const cachePageRows = 256
+
+// factCache is an LRU page cache over a fact file, sized as a fraction of
+// the table (the x-axis of the paper's Figure 17).
+type factCache struct {
+	fr       *relation.FactReader
+	rowWidth int
+	maxPages int
+	pages    map[int64]*list.Element
+	lru      *list.List // front = most recent
+	hits     int64
+	misses   int64
+}
+
+type cachePage struct {
+	id   int64
+	data []byte
+}
+
+// newFactCache builds a cache holding at most fraction of the file's
+// pages (fraction is clamped to [0, 1]; 0 disables caching).
+func newFactCache(fr *relation.FactReader, fraction float64) *factCache {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	totalPages := (fr.Rows() + cachePageRows - 1) / cachePageRows
+	return &factCache{
+		fr:       fr,
+		rowWidth: fr.RowWidth(),
+		maxPages: int(float64(totalPages) * fraction),
+		pages:    map[int64]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// row returns the raw bytes of fact row rrowid, reading through the cache.
+// The returned slice aliases cache memory and is valid until the next call.
+func (c *factCache) row(rrowid int64) ([]byte, error) {
+	pageID := rrowid / cachePageRows
+	off := int(rrowid%cachePageRows) * c.rowWidth
+	if el, ok := c.pages[pageID]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cachePage).data[off : off+c.rowWidth], nil
+	}
+	c.misses++
+	first := pageID * cachePageRows
+	count := int64(cachePageRows)
+	if first+count > c.fr.Rows() {
+		count = c.fr.Rows() - first
+	}
+	data := make([]byte, int(count)*c.rowWidth)
+	if err := c.fr.ReadRawAt(first, int(count), data); err != nil {
+		return nil, err
+	}
+	if c.maxPages > 0 {
+		if c.lru.Len() >= c.maxPages {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.pages, oldest.Value.(*cachePage).id)
+		}
+		c.pages[pageID] = c.lru.PushFront(&cachePage{id: pageID, data: data})
+	}
+	return data[off : off+c.rowWidth], nil
+}
+
+// Stats returns cache hits and misses.
+func (c *factCache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,351 @@
+package query
+
+import (
+	"fmt"
+
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/relation"
+	"cure/internal/signature"
+	"cure/internal/storage"
+)
+
+// Options configures a query engine.
+type Options struct {
+	// CacheFraction is the fraction of the fact table held in the page
+	// cache (0 = no caching, 1 = the whole table). This is the knob of
+	// the paper's Figure 17.
+	CacheFraction float64
+	// PinAggregates loads the whole AGGREGATES relation into memory —
+	// the other half of §5.3's caching advice. Defaults to true via
+	// OpenDefault.
+	PinAggregates bool
+}
+
+// Engine answers queries over one materialized cube directory.
+type Engine struct {
+	r      *storage.Reader
+	fact   *relation.FactReader
+	cache  *factCache
+	aggRaw []byte // pinned AGGREGATES, nil when not pinned
+	enum   *lattice.Enum
+}
+
+// Open opens a cube directory for querying.
+func Open(dir string, opts Options) (*Engine, error) {
+	r, err := storage.OpenReader(dir)
+	if err != nil {
+		return nil, err
+	}
+	fact, err := relation.OpenFactReader(r.FactPath())
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	e := &Engine{
+		r:     r,
+		fact:  fact,
+		cache: newFactCache(fact, opts.CacheFraction),
+		enum:  r.Enum(),
+	}
+	if opts.PinAggregates {
+		if e.aggRaw, err = r.AggregatesRaw(); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// OpenDefault opens a cube with full fact-table caching and pinned
+// AGGREGATES — the configuration the paper's headline query numbers use.
+func OpenDefault(dir string) (*Engine, error) {
+	return Open(dir, Options{CacheFraction: 1, PinAggregates: true})
+}
+
+// Close releases the engine's resources.
+func (e *Engine) Close() error {
+	err := e.r.Close()
+	if cerr := e.fact.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Enum exposes the node enumeration of the cube's schema.
+func (e *Engine) Enum() *lattice.Enum { return e.enum }
+
+// Hier exposes the hierarchical schema the cube was built over.
+func (e *Engine) Hier() *hierarchy.Schema { return e.r.Hier() }
+
+// FactPath returns the resolved path of the fact table the cube's row-ids
+// reference.
+func (e *Engine) FactPath() string { return e.r.FactPath() }
+
+// Manifest exposes the cube catalog.
+func (e *Engine) Manifest() *storage.Manifest { return e.r.Manifest() }
+
+// CacheStats returns fact-cache hits and misses.
+func (e *Engine) CacheStats() (hits, misses int64) { return e.cache.Stats() }
+
+// Row is one result tuple of a node query: the node's grouping-attribute
+// codes (at the node's levels, in dimension order) and the aggregates.
+// RRowid is the minimum fact-table row-id of the tuple's source set (-1
+// for CURE_DR normal tuples, whose storage drops the reference);
+// incremental maintenance relies on it.
+type Row struct {
+	Dims   []int32
+	Aggrs  []float64
+	RRowid int64
+}
+
+// NodeQuery streams every tuple of node id to fn. The Row passed to fn
+// reuses internal buffers. This is the "node query, no selection"
+// workload of the paper's §7.
+func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
+	if !e.enum.Valid(id) {
+		return fmt.Errorf("query: invalid node id %d", id)
+	}
+	levels := e.enum.Decode(id, nil)
+	hier := e.r.Hier()
+	activeDims := make([]int, 0, len(levels))
+	for d, l := range levels {
+		if !hier.Dims[d].IsAll(l) {
+			activeDims = append(activeDims, d)
+		}
+	}
+	row := Row{
+		Dims:  make([]int32, len(activeDims)),
+		Aggrs: make([]float64, e.r.Manifest().NumAggrs()),
+	}
+	baseDims := make([]int32, hier.NumDims())
+	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
+	specs := e.r.Manifest().AggSpecs
+
+	project := func(rrowid int64) error {
+		raw, err := e.cache.row(rrowid)
+		if err != nil {
+			return err
+		}
+		e.fact.DecodeRow(raw, baseDims, baseMeas)
+		for i, d := range activeDims {
+			row.Dims[i] = hier.Dims[d].MapCode(baseDims[d], levels[d])
+		}
+		return nil
+	}
+
+	// 1. Trivial tuples: stored once at the least detailed node they
+	// belong to; collect them along the plan path (bounded to the
+	// partition subtree when the cube was built partitioned).
+	for _, anc := range e.planPath(id, levels) {
+		ids, err := e.r.TTRowIDs(anc, nil)
+		if err != nil {
+			return err
+		}
+		for _, rrowid := range ids {
+			if err := project(rrowid); err != nil {
+				return err
+			}
+			// A trivial tuple's aggregates are the projections of its
+			// single source tuple.
+			for i, s := range specs {
+				if s.Func == relation.AggCount {
+					row.Aggrs[i] = 1
+				} else {
+					row.Aggrs[i] = baseMeas[s.Measure]
+				}
+			}
+			row.RRowid = rrowid
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+
+	// 2. Normal tuples.
+	if err := e.r.NTRows(id, func(nt storage.NTRow) error {
+		if e.r.Manifest().DimsInline {
+			copy(row.Dims, nt.Dims)
+		} else if err := project(nt.RRowid); err != nil {
+			return err
+		}
+		copy(row.Aggrs, nt.Aggrs)
+		row.RRowid = nt.RRowid // -1 under CURE_DR
+		return fn(row)
+	}); err != nil {
+		return err
+	}
+
+	// 3. Common aggregate tuples: aggregates via AGGREGATES, dimensions
+	// via the source row-id (carried by the CAT row under format (b), by
+	// the AGGREGATES tuple under format (a)).
+	return e.r.CATRows(id, func(cat storage.CATRow) error {
+		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
+		if err != nil {
+			return err
+		}
+		rrowid := cat.RRowid
+		if rrowid < 0 {
+			rrowid = aggRowid
+		}
+		if err := project(rrowid); err != nil {
+			return err
+		}
+		row.RRowid = rrowid
+		return fn(row)
+	})
+}
+
+// readAggregate fetches AGGREGATES tuple arowid through the pin if
+// present.
+func (e *Engine) readAggregate(arowid int64, aggrs []float64) (int64, error) {
+	if e.aggRaw != nil {
+		return e.r.DecodeAggregate(e.aggRaw, arowid, aggrs), nil
+	}
+	return e.r.ReadAggregate(arowid, aggrs)
+}
+
+// planPath returns the plan nodes whose TT relations contribute to node
+// id, respecting the partition boundary of partitioned builds and the
+// plan style the cube was built with.
+func (e *Engine) planPath(id lattice.NodeID, levels []int) []lattice.NodeID {
+	if e.r.Manifest().ShortPlan {
+		return e.enum.PlanPathShort(id)
+	}
+	L := e.r.Manifest().PartitionLevel
+	M := e.r.Manifest().PartitionLevelB
+	if M >= 0 && levels[0] <= L {
+		// Pair-partitioned build: nodes with both partitioned dimensions
+		// at fine levels root at {A_l0, B_M}; nodes with dimension 1
+		// coarser root at {A_l0} (the N2 phase).
+		hier := e.r.Hier()
+		rootLevels := make([]int, hier.NumDims())
+		rootLevels[0] = levels[0]
+		for d := 1; d < len(rootLevels); d++ {
+			rootLevels[d] = hier.Dims[d].AllLevel()
+		}
+		if levels[1] <= M {
+			rootLevels[1] = M
+		}
+		return e.enum.PlanPathFromNode(id, e.enum.Encode(rootLevels))
+	}
+	if L >= 0 && levels[0] <= L {
+		return e.enum.PlanPathFrom(id, L)
+	}
+	return e.enum.PlanPath(id)
+}
+
+// NodeCount returns the number of result tuples of a node query without
+// materializing dimension values (TTs still require plan-path metadata
+// but no fact access).
+func (e *Engine) NodeCount(id lattice.NodeID) (int64, error) {
+	levels := e.enum.Decode(id, nil)
+	var n int64
+	for _, anc := range e.planPath(id, levels) {
+		nm, ok := e.r.Manifest().NodeMeta(anc)
+		if !ok {
+			continue
+		}
+		n += nm.TTRows
+	}
+	if nm, ok := e.r.Manifest().NodeMeta(id); ok {
+		n += nm.NTRows + nm.CATRows
+	}
+	return n, nil
+}
+
+// IcebergQuery streams the tuples of node id whose count aggregate
+// exceeds minCount. countAgg is the index of a COUNT aggregate in the
+// cube's specs. Trivial tuples are skipped wholesale (their count is
+// always 1) — the property that makes iceberg queries on CURE cubes
+// orders of magnitude cheaper than on formats that materialize TTs.
+func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
+	specs := e.r.Manifest().AggSpecs
+	if countAgg < 0 || countAgg >= len(specs) || specs[countAgg].Func != relation.AggCount {
+		return fmt.Errorf("query: aggregate %d is not a COUNT", countAgg)
+	}
+	if minCount < 1 {
+		return fmt.Errorf("query: iceberg threshold %v below 1 matches everything", minCount)
+	}
+	levels := e.enum.Decode(id, nil)
+	hier := e.r.Hier()
+	activeDims := make([]int, 0, len(levels))
+	for d, l := range levels {
+		if !hier.Dims[d].IsAll(l) {
+			activeDims = append(activeDims, d)
+		}
+	}
+	row := Row{Dims: make([]int32, len(activeDims)), Aggrs: make([]float64, len(specs))}
+	baseDims := make([]int32, hier.NumDims())
+	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
+	project := func(rrowid int64) error {
+		raw, err := e.cache.row(rrowid)
+		if err != nil {
+			return err
+		}
+		e.fact.DecodeRow(raw, baseDims, baseMeas)
+		for i, d := range activeDims {
+			row.Dims[i] = hier.Dims[d].MapCode(baseDims[d], levels[d])
+		}
+		return nil
+	}
+	if err := e.r.NTRows(id, func(nt storage.NTRow) error {
+		if nt.Aggrs[countAgg] <= minCount {
+			return nil
+		}
+		if e.r.Manifest().DimsInline {
+			copy(row.Dims, nt.Dims)
+		} else if err := project(nt.RRowid); err != nil {
+			return err
+		}
+		copy(row.Aggrs, nt.Aggrs)
+		return fn(row)
+	}); err != nil {
+		return err
+	}
+	return e.r.CATRows(id, func(cat storage.CATRow) error {
+		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
+		if err != nil {
+			return err
+		}
+		if row.Aggrs[countAgg] <= minCount {
+			return nil
+		}
+		rrowid := cat.RRowid
+		if rrowid < 0 {
+			rrowid = aggRowid
+		}
+		if err := project(rrowid); err != nil {
+			return err
+		}
+		return fn(row)
+	})
+}
+
+// RollUp returns the node id with dimension dim one hierarchy level
+// coarser (towards ALL), and false when dim is already at ALL.
+func (e *Engine) RollUp(id lattice.NodeID, dim int) (lattice.NodeID, bool) {
+	levels := e.enum.Decode(id, nil)
+	d := e.r.Hier().Dims[dim]
+	if d.IsAll(levels[dim]) {
+		return id, false
+	}
+	levels[dim]++
+	return e.enum.Encode(levels), true
+}
+
+// DrillDown returns the node id with dimension dim one level finer along
+// the dashed-edge tree, and false when dim is already at a base level.
+func (e *Engine) DrillDown(id lattice.NodeID, dim int) (lattice.NodeID, bool) {
+	levels := e.enum.Decode(id, nil)
+	d := e.r.Hier().Dims[dim]
+	children := d.DashChildren(levels[dim])
+	if len(children) == 0 {
+		return id, false
+	}
+	levels[dim] = children[0]
+	return e.enum.Encode(levels), true
+}
+
+// Format reports the cube's CAT storage format.
+func (e *Engine) Format() signature.Format { return e.r.Manifest().CatFormat }

@@ -1,0 +1,132 @@
+package query
+
+import (
+	"fmt"
+
+	"cure/internal/lattice"
+)
+
+// Predicate restricts a node query to tuples whose value of one dimension
+// at some hierarchy level falls into a code set or range — the paper's
+// "queries combined with some selection of specific ranges" (§7). The
+// predicate level may be the node's own level or any coarser one (e.g.
+// select a Division while grouping by Code).
+type Predicate struct {
+	// Dim is the dimension index.
+	Dim int
+	// Level is the hierarchy level the codes refer to.
+	Level int
+	// Lo and Hi bound the accepted code range, inclusive. For a single
+	// value set Lo == Hi.
+	Lo, Hi int32
+}
+
+// Match reports whether a code satisfies the predicate.
+func (p Predicate) Match(code int32) bool { return code >= p.Lo && code <= p.Hi }
+
+// NodeQueryWhere streams the tuples of node id that satisfy every
+// predicate. Predicates are evaluated against the tuples' base-level
+// source rows, so they may reference any level at or above the node's
+// granularity for the dimension. CURE_DR cubes evaluate predicates on
+// their inline codes and therefore only accept predicates at exactly the
+// node's level for grouped dimensions.
+func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Row) error) error {
+	if len(preds) == 0 {
+		return e.NodeQuery(id, fn)
+	}
+	if !e.enum.Valid(id) {
+		return fmt.Errorf("query: invalid node id %d", id)
+	}
+	levels := e.enum.Decode(id, nil)
+	hier := e.r.Hier()
+	for _, p := range preds {
+		if p.Dim < 0 || p.Dim >= hier.NumDims() {
+			return fmt.Errorf("query: predicate dimension %d out of range", p.Dim)
+		}
+		d := hier.Dims[p.Dim]
+		if p.Level < 0 || p.Level > d.AllLevel() {
+			return fmt.Errorf("query: predicate level %d out of range for %s", p.Level, d.Name)
+		}
+		if p.Level < levels[p.Dim] {
+			return fmt.Errorf("query: predicate on %s at level %s is finer than the node's level %s",
+				d.Name, d.LevelName(p.Level), d.LevelName(levels[p.Dim]))
+		}
+		if p.Lo > p.Hi {
+			return fmt.Errorf("query: empty predicate range [%d,%d]", p.Lo, p.Hi)
+		}
+	}
+	if e.r.Manifest().DimsInline {
+		return e.nodeQueryWhereDR(id, levels, preds, fn)
+	}
+	// Row.RRowid is valid for every tuple of a non-DR cube; evaluate
+	// predicates by re-projecting the source row.
+	baseDims := make([]int32, hier.NumDims())
+	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
+	return e.NodeQuery(id, func(row Row) error {
+		raw, err := e.cache.row(row.RRowid)
+		if err != nil {
+			return err
+		}
+		e.fact.DecodeRow(raw, baseDims, baseMeas)
+		for _, p := range preds {
+			if !p.Match(hier.Dims[p.Dim].MapCode(baseDims[p.Dim], p.Level)) {
+				return nil
+			}
+		}
+		return fn(row)
+	})
+}
+
+// nodeQueryWhereDR evaluates predicates against the inline codes of a
+// CURE_DR cube: each predicate must target exactly the node's level of a
+// grouped dimension (coarser levels would need base codes, which DR rows
+// no longer reference).
+func (e *Engine) nodeQueryWhereDR(id lattice.NodeID, levels []int, preds []Predicate, fn func(Row) error) error {
+	hier := e.r.Hier()
+	// Map dimension index → position among the node's grouped dims.
+	pos := make([]int, hier.NumDims())
+	idx := 0
+	for d, l := range levels {
+		if hier.Dims[d].IsAll(l) {
+			pos[d] = -1
+		} else {
+			pos[d] = idx
+			idx++
+		}
+	}
+	for _, p := range preds {
+		if pos[p.Dim] < 0 || p.Level != levels[p.Dim] {
+			return fmt.Errorf("query: CURE_DR cubes only support predicates at the node's own level (dim %s, level %s)",
+				hier.Dims[p.Dim].Name, hier.Dims[p.Dim].LevelName(levels[p.Dim]))
+		}
+	}
+	return e.NodeQuery(id, func(row Row) error {
+		for _, p := range preds {
+			if !p.Match(row.Dims[pos[p.Dim]]) {
+				return nil
+			}
+		}
+		return fn(row)
+	})
+}
+
+// SliceQuery is the common OLAP slice: the grouping of node id with
+// dimension dim additionally fixed to a single value at the given level.
+// A node that aggregates dim away cannot be filtered on it after the
+// fact (its tuples mix all of dim's values), so the query is answered
+// from the node that still groups dim at that level; the returned rows
+// therefore include the fixed dimension's (constant) code among their
+// grouping attributes.
+func (e *Engine) SliceQuery(id lattice.NodeID, dim, level int, code int32, fn func(Row) error) error {
+	if dim < 0 || dim >= e.r.Hier().NumDims() {
+		return fmt.Errorf("query: slice dimension %d out of range", dim)
+	}
+	levels := e.enum.Decode(id, nil)
+	if level < levels[dim] {
+		// The node aggregates dim more coarsely than the slice asks for:
+		// refine the grouping so the selection is answerable.
+		levels[dim] = level
+	}
+	target := e.enum.Encode(levels)
+	return e.NodeQueryWhere(target, []Predicate{{Dim: dim, Level: level, Lo: code, Hi: code}}, fn)
+}

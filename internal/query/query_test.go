@@ -1,0 +1,292 @@
+package query
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cure/internal/core"
+	"cure/internal/hierarchy"
+	"cure/internal/relation"
+)
+
+// buildTestCube builds a small hierarchical cube and returns its
+// directory.
+func buildTestCube(t *testing.T, plus bool) (string, *hierarchy.Schema, *relation.FactTable) {
+	t.Helper()
+	m := hierarchy.BuildContiguousMap(10, 5)
+	a, err := hierarchy.NewLinearDim("A", []string{"A0", "A1"}, []int32{10, 5}, [][]int32{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := hierarchy.NewSchema(a, hierarchy.NewFlatDim("B", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := &relation.Schema{DimNames: []string{"A", "B"}, MeasureNames: []string{"M"}}
+	// 3,000 rows span ~12 cache pages, enough for partial-cache tests to
+	// exercise LRU eviction.
+	const rows = 3000
+	ft := relation.NewFactTable(schema, rows)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < rows; i++ {
+		ft.Append([]int32{int32(rng.Intn(10)), int32(rng.Intn(4))}, []float64{float64(rng.Intn(7))})
+	}
+	dir := t.TempDir()
+	cubeDir := filepath.Join(dir, "cube")
+	_, err = core.BuildFromTable(ft, core.Options{
+		Dir:  cubeDir,
+		Hier: hier,
+		AggSpecs: []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+		},
+		Plus: plus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cubeDir, hier, ft
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Error("empty dir opened")
+	}
+}
+
+func TestNodeQueryInvalidID(t *testing.T) {
+	dir, _, _ := buildTestCube(t, false)
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.NodeQuery(-1, func(Row) error { return nil }); err == nil {
+		t.Error("negative node id accepted")
+	}
+	if err := eng.NodeQuery(999, func(Row) error { return nil }); err == nil {
+		t.Error("out-of-range node id accepted")
+	}
+}
+
+func TestCacheFractionsAgree(t *testing.T) {
+	dir, _, _ := buildTestCube(t, false)
+	// All cache settings must return identical result multisets.
+	counts := map[float64]int{}
+	sums := map[float64]float64{}
+	for _, frac := range []float64{0, 0.3, 1} {
+		eng, err := Open(dir, Options{CacheFraction: frac, PinAggregates: frac > 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := int64(0); id < 6; id++ {
+			if err := eng.NodeQuery(eng.Enum().AllNodes()[id], func(row Row) error {
+				counts[frac]++
+				sums[frac] += row.Aggrs[0]
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hits, misses := eng.CacheStats()
+		if frac == 0 && hits != 0 {
+			t.Errorf("zero cache recorded %d hits", hits)
+		}
+		if frac == 1 && misses > hits && counts[frac] > 100 {
+			t.Errorf("full cache: %d hits, %d misses", hits, misses)
+		}
+		eng.Close()
+	}
+	if counts[0] != counts[0.3] || counts[0.3] != counts[1] {
+		t.Errorf("row counts differ across cache settings: %v", counts)
+	}
+	if sums[0] != sums[0.3] || sums[0.3] != sums[1] {
+		t.Errorf("aggregates differ across cache settings: %v", sums)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	dir, _, _ := buildTestCube(t, false)
+	eng, err := Open(dir, Options{CacheFraction: 0.4, PinAggregates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Run several node queries; the cache must stay within its budget
+	// and keep answering correctly.
+	for pass := 0; pass < 3; pass++ {
+		for _, id := range eng.Enum().AllNodes() {
+			if err := eng.NodeQuery(id, func(Row) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hits, misses := eng.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("partial cache produced hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestManifestAndFormatExposed(t *testing.T) {
+	dir, _, _ := buildTestCube(t, true)
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Manifest() == nil || !eng.Manifest().Plus {
+		t.Error("manifest not exposed or Plus lost")
+	}
+	_ = eng.Format() // any locked format is fine; must not panic
+}
+
+func TestNodeCountWithoutMaterialization(t *testing.T) {
+	dir, _, _ := buildTestCube(t, false)
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, id := range eng.Enum().AllNodes() {
+		want := 0
+		if err := eng.NodeQuery(id, func(Row) error { want++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.NodeCount(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(want) {
+			t.Errorf("node %s: NodeCount = %d, enumerated %d", eng.Enum().Name(id), got, want)
+		}
+	}
+}
+
+func TestVerifyCleanCube(t *testing.T) {
+	dir, _, _ := buildTestCube(t, true)
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rep, err := eng.Verify(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean cube failed verification: %v", rep.Errors)
+	}
+	if rep.NodesChecked != int(eng.Enum().NumNodes()) || rep.TuplesChecked == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Sampled verification checks fewer nodes.
+	rep2, err := eng.Verify(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NodesChecked != 2 {
+		t.Errorf("sampled %d nodes, want 2", rep2.NodesChecked)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir, _, _ := buildTestCube(t, false)
+	// Corrupt the NT relation: flip bytes in the middle of the file.
+	ntPath := filepath.Join(dir, "nt.bin")
+	data, err := os.ReadFile(ntPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 24 {
+		t.Skip("NT relation too small to corrupt")
+	}
+	for i := 8; i < 24; i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(ntPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rep, err := eng.Verify(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("corrupted cube passed verification")
+	}
+}
+
+func TestDiffEquivalentAndDivergent(t *testing.T) {
+	dirA, hier, ft := buildTestCube(t, false)
+	// Same data, different variant (CURE+): query-equivalent.
+	dirB := filepath.Join(t.TempDir(), "plus")
+	if _, err := core.BuildFromTable(ft, core.Options{
+		Dir: dirB, Hier: hier,
+		AggSpecs: []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+		},
+		Plus: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenDefault(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenDefault(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rep, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal() {
+		t.Fatalf("equivalent cubes reported different: %v", rep.Differences)
+	}
+	if rep.TuplesA != rep.TuplesB || rep.TuplesA == 0 {
+		t.Errorf("tuple counts: %d vs %d", rep.TuplesA, rep.TuplesB)
+	}
+
+	// Different data: divergent.
+	ft2 := relation.NewFactTable(ft.Schema, ft.Len())
+	dims := make([]int32, 2)
+	meas := make([]float64, 1)
+	for r := 0; r < ft.Len(); r++ {
+		dims = ft.DimRow(r, dims)
+		meas = ft.MeasureRow(r, meas)
+		meas[0]++ // shift every measure
+		ft2.Append(dims, meas)
+	}
+	dirC := filepath.Join(t.TempDir(), "shifted")
+	if _, err := core.BuildFromTable(ft2, core.Options{
+		Dir: dirC, Hier: hier,
+		AggSpecs: []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenDefault(dirC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep2, err := Diff(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Equal() {
+		t.Error("divergent cubes reported equal")
+	}
+}

@@ -1,0 +1,109 @@
+// Package relation implements the miniature relational substrate CURE is
+// built on: columnar in-memory fact tables, aggregate specifications, and a
+// row-oriented fixed-width binary persistence format that supports random
+// access by row-id (needed because CURE cubes reference fact tuples by
+// R-rowid instead of storing dimension values).
+package relation
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AggFunc identifies a distributive or algebraic aggregate function.
+// Holistic functions (e.g. MEDIAN) are excluded on purpose: CURE's
+// observation 3 (computing coarse nodes from the in-memory node N) only
+// holds for non-holistic aggregates, as the paper notes.
+type AggFunc uint8
+
+const (
+	// AggSum computes the sum of a measure column.
+	AggSum AggFunc = iota
+	// AggCount counts input tuples; it needs no measure column.
+	AggCount
+	// AggMin computes the minimum of a measure column.
+	AggMin
+	// AggMax computes the maximum of a measure column.
+	AggMax
+)
+
+// String returns the SQL-ish name of the aggregate function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// AggSpec describes one aggregate of the cube: which function over which
+// measure column of the fact table. For AggCount, Measure is ignored.
+type AggSpec struct {
+	Func    AggFunc
+	Measure int // index into FactTable.Measures; ignored for AggCount
+}
+
+// Validate checks the spec against a fact table with numMeasures measure
+// columns.
+func (s AggSpec) Validate(numMeasures int) error {
+	if s.Func == AggCount {
+		return nil
+	}
+	if s.Measure < 0 || s.Measure >= numMeasures {
+		return fmt.Errorf("relation: aggregate %s references measure %d of %d", s.Func, s.Measure, numMeasures)
+	}
+	return nil
+}
+
+// Schema describes the logical layout of a fact table: named dimension
+// columns (stored as int32 codes at the base hierarchy level) and named
+// measure columns (float64).
+type Schema struct {
+	DimNames     []string
+	MeasureNames []string
+}
+
+// NumDims returns the number of dimension columns.
+func (s *Schema) NumDims() int { return len(s.DimNames) }
+
+// NumMeasures returns the number of measure columns.
+func (s *Schema) NumMeasures() int { return len(s.MeasureNames) }
+
+// Validate checks that the schema is well formed: at least one dimension
+// and no duplicate column names.
+func (s *Schema) Validate() error {
+	if len(s.DimNames) == 0 {
+		return errors.New("relation: schema needs at least one dimension")
+	}
+	seen := make(map[string]bool, len(s.DimNames)+len(s.MeasureNames))
+	for _, n := range s.DimNames {
+		if n == "" {
+			return errors.New("relation: empty dimension name")
+		}
+		if seen[n] {
+			return fmt.Errorf("relation: duplicate column name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, n := range s.MeasureNames {
+		if n == "" {
+			return errors.New("relation: empty measure name")
+		}
+		if seen[n] {
+			return fmt.Errorf("relation: duplicate column name %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// RowWidth returns the fixed on-disk width in bytes of one fact-table row:
+// 4 bytes per dimension code plus 8 bytes per measure.
+func (s *Schema) RowWidth() int { return 4*len(s.DimNames) + 8*len(s.MeasureNames) }

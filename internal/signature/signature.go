@@ -1,0 +1,372 @@
+// Package signature implements §5.2 of the paper: the signature pool that
+// classifies non-trivial cube tuples into normal tuples (NTs) and common
+// aggregate tuples (CATs), and the statistics-driven choice among the
+// alternative CAT storage formats of §5.1.
+//
+// A signature <Aggr1..AggrY, R-rowid, NodeId> is the minimal metadata of
+// one aggregated (non-trivial) cube tuple: the aggregate values, the
+// minimum row-id of the source tuple set in the fact table, and the id of
+// the lattice node the tuple belongs to. Holding signatures instead of
+// tuples is what lets CURE defer the NT/CAT decision without holding the
+// cube in memory; a bounded pool trades a little redundancy (tuples
+// classified per flush instead of globally) for bounded memory.
+package signature
+
+import (
+	"fmt"
+	"sort"
+
+	"cure/internal/lattice"
+)
+
+// Format selects how CATs are materialized (§5.1).
+type Format uint8
+
+const (
+	// FormatUndecided means no flush has observed CATs yet.
+	FormatUndecided Format = iota
+	// FormatA stores AGGREGATES = <R-rowid, aggrs> and CAT rows that are
+	// a bare A-rowid; best when common-source CATs prevail (k/n > Y+1).
+	FormatA
+	// FormatB stores AGGREGATES = <aggrs> and CAT rows <R-rowid,
+	// A-rowid>; best when coincidental CATs prevail and Y > 1.
+	FormatB
+	// FormatNT stores would-be CATs as plain NTs; best when coincidental
+	// CATs prevail and Y = 1 (an A-rowid would be as wide as the single
+	// aggregate it replaces).
+	FormatNT
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatUndecided:
+		return "undecided"
+	case FormatA:
+		return "A(common-source)"
+	case FormatB:
+		return "B(coincidental)"
+	case FormatNT:
+		return "NT(fallback)"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// Stats aggregates the quantities of the §5.1 cost model observed during
+// flushes: m aggregate-value combinations shared by CATs, each pointed at
+// by k CATs on average, produced by n distinct source sets on average.
+type Stats struct {
+	// CatGroups is m: the number of distinct aggregate combinations
+	// shared by ≥2 signatures.
+	CatGroups int64
+	// CatSigs is the total number of signatures inside those groups
+	// (k·m in the paper's model).
+	CatSigs int64
+	// CatSourceSets is the total number of distinct (aggrs, R-rowid)
+	// pairs inside those groups (n·m).
+	CatSourceSets int64
+	// NTs is the number of signatures classified as normal tuples.
+	NTs int64
+	// Flushes counts pool flushes.
+	Flushes int64
+	// Total counts all signatures ever added.
+	Total int64
+}
+
+// K returns the average number of CATs per shared aggregate combination.
+func (s Stats) K() float64 {
+	if s.CatGroups == 0 {
+		return 0
+	}
+	return float64(s.CatSigs) / float64(s.CatGroups)
+}
+
+// N returns the average number of distinct source sets per shared
+// aggregate combination.
+func (s Stats) N() float64 {
+	if s.CatGroups == 0 {
+		return 0
+	}
+	return float64(s.CatSourceSets) / float64(s.CatGroups)
+}
+
+// Decide applies the paper's format-selection rule to observed statistics
+// for a cube with numAggrs aggregate columns:
+//
+//	if common-source CATs prevail (k/n > Y+1)  → format (a)
+//	else if Y = 1                              → store CATs as NTs
+//	else                                       → format (b)
+func Decide(s Stats, numAggrs int) Format {
+	if s.CatGroups == 0 {
+		// No CATs observed; format (b) is a safe default (it degrades
+		// to nothing if CATs never appear).
+		if numAggrs == 1 {
+			return FormatNT
+		}
+		return FormatB
+	}
+	if s.K() > s.N()*float64(numAggrs+1) {
+		return FormatA
+	}
+	if numAggrs == 1 {
+		return FormatNT
+	}
+	return FormatB
+}
+
+// Sink receives classified tuples from pool flushes. Implementations live
+// in the storage layer.
+type Sink interface {
+	// WriteNT materializes a normal tuple of node: <R-rowid, aggrs>.
+	WriteNT(node lattice.NodeID, rrowid int64, aggrs []float64) error
+	// AppendAggregate appends one tuple to the shared AGGREGATES
+	// relation and returns its A-rowid. rrowid is ≥0 under format (a)
+	// and -1 under format (b), where AGGREGATES holds aggregates only.
+	AppendAggregate(rrowid int64, aggrs []float64) (int64, error)
+	// WriteCAT materializes a common-aggregate tuple of node. rrowid is
+	// -1 under format (a), where the R-rowid lives in AGGREGATES.
+	WriteCAT(node lattice.NodeID, rrowid, arowid int64) error
+}
+
+// Pool is the bounded signature pool. Aggregate values are stored flat
+// ([Y]float64 per signature) to keep the per-signature footprint at
+// 8·(Y+2) bytes, matching the paper's "(Y+2)·4 MB per million
+// signatures" up to the word size.
+//
+// A Pool is not safe for concurrent use.
+type Pool struct {
+	numAggrs int
+	capacity int
+	sink     Sink
+
+	aggrs   []float64
+	rrowids []int64
+	nodes   []lattice.NodeID
+
+	format Format
+	stats  Stats
+	// ForceFormat, when not FormatUndecided, bypasses the dynamic
+	// decision; used by tests and by ablation benchmarks.
+	ForceFormat Format
+}
+
+// NewPool creates a pool holding up to capacity signatures with numAggrs
+// aggregate values each. capacity = 0 disables CAT/NT separation entirely
+// (every non-trivial tuple is emitted immediately as an NT), the paper's
+// "zero-length pool prohibits the identification of CATs" extreme.
+func NewPool(numAggrs, capacity int, sink Sink) (*Pool, error) {
+	if numAggrs < 1 {
+		return nil, fmt.Errorf("signature: need at least one aggregate, got %d", numAggrs)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("signature: negative capacity %d", capacity)
+	}
+	p := &Pool{numAggrs: numAggrs, capacity: capacity, sink: sink}
+	if capacity > 0 {
+		hint := capacity
+		if hint > 1<<20 {
+			hint = 1 << 20 // grow lazily for huge pools
+		}
+		p.aggrs = make([]float64, 0, hint*numAggrs)
+		p.rrowids = make([]int64, 0, hint)
+		p.nodes = make([]lattice.NodeID, 0, hint)
+	}
+	return p, nil
+}
+
+// Len returns the number of buffered signatures.
+func (p *Pool) Len() int { return len(p.rrowids) }
+
+// Full reports whether the pool has reached capacity.
+func (p *Pool) Full() bool { return len(p.rrowids) >= p.capacity }
+
+// Format returns the storage format in effect (FormatUndecided until the
+// first flush that observes CATs).
+func (p *Pool) Format() Format { return p.format }
+
+// Stats returns cumulative classification statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// SizeBytes returns the in-memory footprint of a full pool, for memory
+// accounting.
+func (p *Pool) SizeBytes() int64 {
+	return int64(p.capacity) * int64(8*(p.numAggrs+2))
+}
+
+// Add buffers the signature of one non-trivial tuple, flushing first if
+// the pool is full. With zero capacity the tuple is written out as an NT
+// immediately.
+func (p *Pool) Add(node lattice.NodeID, rrowid int64, aggrs []float64) error {
+	p.stats.Total++
+	if p.capacity == 0 {
+		p.stats.NTs++
+		return p.sink.WriteNT(node, rrowid, aggrs)
+	}
+	if p.Full() {
+		if err := p.Flush(); err != nil {
+			return err
+		}
+	}
+	p.aggrs = append(p.aggrs, aggrs[:p.numAggrs]...)
+	p.rrowids = append(p.rrowids, rrowid)
+	p.nodes = append(p.nodes, node)
+	return nil
+}
+
+// aggrsOf returns the aggregate slice of buffered signature i.
+func (p *Pool) aggrsOf(i int32) []float64 {
+	return p.aggrs[int(i)*p.numAggrs : (int(i)+1)*p.numAggrs]
+}
+
+// compareSig orders signatures by (aggrs, R-rowid); grouping by aggregate
+// values is a prefix of this order, so one sort serves both formats.
+func (p *Pool) compareSig(a, b int32) int {
+	av, bv := p.aggrsOf(a), p.aggrsOf(b)
+	for i := range av {
+		if av[i] < bv[i] {
+			return -1
+		}
+		if av[i] > bv[i] {
+			return 1
+		}
+	}
+	switch {
+	case p.rrowids[a] < p.rrowids[b]:
+		return -1
+	case p.rrowids[a] > p.rrowids[b]:
+		return 1
+	}
+	return 0
+}
+
+func (p *Pool) sameAggrs(a, b int32) bool {
+	av, bv := p.aggrsOf(a), p.aggrsOf(b)
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush sorts the buffered signatures, updates the format statistics,
+// locks the storage format on the first flush that observes CATs, and
+// emits every buffered signature to the sink as an NT or CAT. The pool is
+// empty afterwards.
+func (p *Pool) Flush() error {
+	n := len(p.rrowids)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return p.compareSig(order[i], order[j]) < 0 })
+
+	// First pass: statistics over aggregate-value groups.
+	var flushStats Stats
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && p.sameAggrs(order[lo], order[hi]) {
+			hi++
+		}
+		if hi-lo > 1 {
+			flushStats.CatGroups++
+			flushStats.CatSigs += int64(hi - lo)
+			sources := int64(1)
+			for i := lo + 1; i < hi; i++ {
+				if p.rrowids[order[i]] != p.rrowids[order[i-1]] {
+					sources++
+				}
+			}
+			flushStats.CatSourceSets += sources
+		}
+		lo = hi
+	}
+	p.stats.CatGroups += flushStats.CatGroups
+	p.stats.CatSigs += flushStats.CatSigs
+	p.stats.CatSourceSets += flushStats.CatSourceSets
+	p.stats.Flushes++
+
+	// Lock the format once: the first flush that actually sees CATs
+	// decides for the whole construction, as the paper prescribes.
+	if p.format == FormatUndecided {
+		if p.ForceFormat != FormatUndecided {
+			p.format = p.ForceFormat
+		} else if flushStats.CatGroups > 0 {
+			p.format = Decide(flushStats, p.numAggrs)
+		}
+	}
+	effective := p.format
+	if effective == FormatUndecided {
+		// Still no CATs anywhere: everything in this flush is an NT.
+		effective = FormatNT
+	}
+
+	// Second pass: emit.
+	var err error
+	for lo := 0; lo < n && err == nil; {
+		hi := lo + 1
+		for hi < n && p.sameAggrs(order[lo], order[hi]) {
+			hi++
+		}
+		err = p.emitGroup(order[lo:hi], effective)
+		lo = hi
+	}
+	p.aggrs = p.aggrs[:0]
+	p.rrowids = p.rrowids[:0]
+	p.nodes = p.nodes[:0]
+	return err
+}
+
+// emitGroup writes one aggregate-value group (already sorted by R-rowid)
+// to the sink under the chosen format.
+func (p *Pool) emitGroup(group []int32, format Format) error {
+	if len(group) == 1 || format == FormatNT {
+		for _, s := range group {
+			p.stats.NTs += 1
+			if err := p.sink.WriteNT(p.nodes[s], p.rrowids[s], p.aggrsOf(s)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch format {
+	case FormatA:
+		// One AGGREGATES tuple per common-source subgroup; coincidental
+		// members of the group each get their own (the paper's "second,
+		// mainly redundant tuple" cost that the decision rule weighs).
+		for lo := 0; lo < len(group); {
+			hi := lo + 1
+			for hi < len(group) && p.rrowids[group[hi]] == p.rrowids[group[lo]] {
+				hi++
+			}
+			arowid, err := p.sink.AppendAggregate(p.rrowids[group[lo]], p.aggrsOf(group[lo]))
+			if err != nil {
+				return err
+			}
+			for _, s := range group[lo:hi] {
+				if err := p.sink.WriteCAT(p.nodes[s], -1, arowid); err != nil {
+					return err
+				}
+			}
+			lo = hi
+		}
+		return nil
+	case FormatB:
+		arowid, err := p.sink.AppendAggregate(-1, p.aggrsOf(group[0]))
+		if err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := p.sink.WriteCAT(p.nodes[s], p.rrowids[s], arowid); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("signature: emit under format %v", format)
+	}
+}

@@ -1,0 +1,385 @@
+package signature
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cure/internal/lattice"
+)
+
+// recordingSink captures everything a pool emits.
+type recordingSink struct {
+	nts  []ntRec
+	aggs []aggRec
+	cats []catRec
+}
+
+type ntRec struct {
+	node   lattice.NodeID
+	rrowid int64
+	aggrs  []float64
+}
+
+type aggRec struct {
+	rrowid int64
+	aggrs  []float64
+}
+
+type catRec struct {
+	node           lattice.NodeID
+	rrowid, arowid int64
+}
+
+func (s *recordingSink) WriteNT(node lattice.NodeID, rrowid int64, aggrs []float64) error {
+	s.nts = append(s.nts, ntRec{node, rrowid, append([]float64(nil), aggrs...)})
+	return nil
+}
+
+func (s *recordingSink) AppendAggregate(rrowid int64, aggrs []float64) (int64, error) {
+	s.aggs = append(s.aggs, aggRec{rrowid, append([]float64(nil), aggrs...)})
+	return int64(len(s.aggs) - 1), nil
+}
+
+func (s *recordingSink) WriteCAT(node lattice.NodeID, rrowid, arowid int64) error {
+	s.cats = append(s.cats, catRec{node, rrowid, arowid})
+	return nil
+}
+
+func TestDecideRule(t *testing.T) {
+	tests := []struct {
+		name  string
+		stats Stats
+		y     int
+		want  Format
+	}{
+		// k/n > Y+1 → common source prevails → format (a).
+		{"common source Y=2", Stats{CatGroups: 10, CatSigs: 100, CatSourceSets: 20}, 2, FormatA}, // k=10, n=2, 10 > 2·3
+		{"coincidental Y=2", Stats{CatGroups: 10, CatSigs: 40, CatSourceSets: 30}, 2, FormatB},   // k=4, n=3, 4 < 9
+		{"coincidental Y=1", Stats{CatGroups: 10, CatSigs: 40, CatSourceSets: 30}, 1, FormatNT},
+		{"common source Y=1", Stats{CatGroups: 10, CatSigs: 100, CatSourceSets: 10}, 1, FormatA},       // k=10, n=1, 10 > 2
+		{"boundary equals not greater", Stats{CatGroups: 1, CatSigs: 6, CatSourceSets: 2}, 2, FormatB}, // k/n = 3 = Y+1
+		{"no cats Y=2", Stats{}, 2, FormatB},
+		{"no cats Y=1", Stats{}, 1, FormatNT},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Decide(tt.stats, tt.y); got != tt.want {
+				t.Errorf("Decide = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStatsKN(t *testing.T) {
+	s := Stats{CatGroups: 4, CatSigs: 20, CatSourceSets: 8}
+	if s.K() != 5 || s.N() != 2 {
+		t.Errorf("K=%v N=%v", s.K(), s.N())
+	}
+	var zero Stats
+	if zero.K() != 0 || zero.N() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 10, &recordingSink{}); err == nil {
+		t.Error("zero aggregates accepted")
+	}
+	if _, err := NewPool(1, -1, &recordingSink{}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestZeroCapacityPoolWritesNTsImmediately(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := NewPool(2, 0, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two identical signatures that a real pool would classify as CATs.
+	if err := p.Add(1, 10, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2, 10, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.nts) != 2 || len(sink.cats) != 0 {
+		t.Errorf("zero pool wrote %d NTs, %d CATs", len(sink.nts), len(sink.cats))
+	}
+	if p.Stats().Total != 2 {
+		t.Errorf("Total = %d", p.Stats().Total)
+	}
+}
+
+func TestCommonSourceCATsUseFormatA(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := NewPool(2, 100, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three common-source CATs (same aggrs, same min R-rowid, distinct
+	// nodes) plus one NT.
+	for node := lattice.NodeID(1); node <= 3; node++ {
+		if err := p.Add(node, 7, []float64{30, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Add(9, 3, []float64{90, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// k=3, n=1 → k/n=3 > Y+1=3? No: 3 > 3 is false... with Y=2 the rule
+	// needs k/n > 3; a single source set with 3 CATs sits exactly on the
+	// boundary and picks format (b). Add more CATs to push it over.
+	if p.Format() != FormatB {
+		t.Fatalf("boundary case format = %v, want B", p.Format())
+	}
+
+	sink = &recordingSink{}
+	p, err = NewPool(2, 100, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := lattice.NodeID(1); node <= 7; node++ {
+		if err := p.Add(node, 7, []float64{30, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Add(9, 3, []float64{90, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Format() != FormatA {
+		t.Fatalf("format = %v, want A", p.Format())
+	}
+	// One AGGREGATES tuple carrying the shared R-rowid; seven bare-A-rowid
+	// CAT rows; one NT.
+	if len(sink.aggs) != 1 || sink.aggs[0].rrowid != 7 {
+		t.Errorf("aggs = %+v", sink.aggs)
+	}
+	if len(sink.cats) != 7 {
+		t.Fatalf("cats = %d", len(sink.cats))
+	}
+	for _, c := range sink.cats {
+		if c.rrowid != -1 || c.arowid != 0 {
+			t.Errorf("format-A CAT row = %+v", c)
+		}
+	}
+	if len(sink.nts) != 1 || sink.nts[0].rrowid != 3 {
+		t.Errorf("nts = %+v", sink.nts)
+	}
+}
+
+func TestCoincidentalCATsUseFormatB(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := NewPool(2, 100, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two coincidental CATs: same aggregates, different source sets.
+	if err := p.Add(1, 10, []float64{85, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2, 20, []float64{85, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Format() != FormatB {
+		t.Fatalf("format = %v, want B", p.Format())
+	}
+	if len(sink.aggs) != 1 || sink.aggs[0].rrowid != -1 {
+		t.Errorf("aggs = %+v", sink.aggs)
+	}
+	if len(sink.cats) != 2 {
+		t.Fatalf("cats = %+v", sink.cats)
+	}
+	rids := []int64{sink.cats[0].rrowid, sink.cats[1].rrowid}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	if !reflect.DeepEqual(rids, []int64{10, 20}) {
+		t.Errorf("format-B CAT rrowids = %v", rids)
+	}
+}
+
+func TestSingleAggregateCoincidentalStoredAsNT(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := NewPool(1, 100, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(1, 10, []float64{85}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2, 20, []float64{85}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Format() != FormatNT {
+		t.Fatalf("format = %v, want NT", p.Format())
+	}
+	if len(sink.nts) != 2 || len(sink.cats) != 0 || len(sink.aggs) != 0 {
+		t.Errorf("NT fallback wrote nts=%d cats=%d aggs=%d", len(sink.nts), len(sink.cats), len(sink.aggs))
+	}
+}
+
+func TestAutoFlushOnCapacity(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := NewPool(1, 4, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := p.Add(lattice.NodeID(i), int64(i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 4: adds 0-3 buffered, 5th add flushes then buffers, 9th
+	// add flushes again. Two flushes so far, 1 signature left buffered.
+	if got := p.Stats().Flushes; got != 2 {
+		t.Errorf("Flushes = %d, want 2", got)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d, want 1", p.Len())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.nts) != 9 {
+		t.Errorf("total NTs = %d, want 9", len(sink.nts))
+	}
+}
+
+func TestBoundedPoolMayMissCrossFlushCATs(t *testing.T) {
+	// The documented trade-off: partners split across flushes are
+	// classified independently (here: as NTs), whereas one big pool
+	// finds the CAT pair.
+	small := &recordingSink{}
+	p, _ := NewPool(2, 1, small)
+	p.Add(1, 10, []float64{85, 1})
+	p.Add(2, 20, []float64{85, 1})
+	p.Flush()
+	if len(small.cats) != 0 || len(small.nts) != 2 {
+		t.Errorf("split flushes: cats=%d nts=%d", len(small.cats), len(small.nts))
+	}
+	big := &recordingSink{}
+	q, _ := NewPool(2, 10, big)
+	q.Add(1, 10, []float64{85, 1})
+	q.Add(2, 20, []float64{85, 1})
+	q.Flush()
+	if len(big.cats) != 2 {
+		t.Errorf("joint flush: cats=%d", len(big.cats))
+	}
+}
+
+func TestForceFormat(t *testing.T) {
+	sink := &recordingSink{}
+	p, _ := NewPool(2, 10, sink)
+	p.ForceFormat = FormatA
+	p.Add(1, 10, []float64{85, 1})
+	p.Add(2, 20, []float64{85, 1}) // coincidental, but format is forced
+	p.Flush()
+	if p.Format() != FormatA {
+		t.Fatalf("format = %v", p.Format())
+	}
+	// Format (a) with two different source sets → two AGGREGATES tuples.
+	if len(sink.aggs) != 2 {
+		t.Errorf("aggs = %d, want 2 (one per source set)", len(sink.aggs))
+	}
+}
+
+func TestFormatLockedAcrossFlushes(t *testing.T) {
+	sink := &recordingSink{}
+	p, _ := NewPool(2, 10, sink)
+	// First flush: coincidental → FormatB.
+	p.Add(1, 10, []float64{85, 1})
+	p.Add(2, 20, []float64{85, 1})
+	p.Flush()
+	if p.Format() != FormatB {
+		t.Fatalf("first flush format = %v", p.Format())
+	}
+	// Second flush is overwhelmingly common-source, but the decision is
+	// already locked.
+	for i := 0; i < 8; i++ {
+		p.Add(lattice.NodeID(i), 5, []float64{42, 7})
+	}
+	p.Flush()
+	if p.Format() != FormatB {
+		t.Errorf("format changed after lock: %v", p.Format())
+	}
+}
+
+func TestSizeBytesMatchesPaperFootprint(t *testing.T) {
+	// §5.2: a pool of 1e6 signatures occupies ≈ (Y+2)·4 MB with 4-byte
+	// words; our words are 8 bytes, so (Y+2)·8 MB.
+	p, _ := NewPool(2, 1_000_000, &recordingSink{})
+	if got, want := p.SizeBytes(), int64(1_000_000*(2+2)*8); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEveryAddedSignatureIsEmittedExactlyOnce(t *testing.T) {
+	// Property: over random inputs, #NTs + #CATs emitted equals the
+	// number of signatures added, regardless of flush boundaries.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		sink := &recordingSink{}
+		capacity := 1 + rng.Intn(50)
+		p, _ := NewPool(2, capacity, sink)
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			aggrs := []float64{float64(rng.Intn(5)), float64(rng.Intn(3))}
+			if err := p.Add(lattice.NodeID(rng.Intn(8)), int64(rng.Intn(20)), aggrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(sink.nts) + len(sink.cats); got != n {
+			t.Fatalf("trial %d: emitted %d tuples for %d signatures (cap %d)", trial, got, n, capacity)
+		}
+		// Each CAT's A-rowid must reference a recorded AGGREGATES tuple.
+		for _, c := range sink.cats {
+			if c.arowid < 0 || int(c.arowid) >= len(sink.aggs) {
+				t.Fatalf("trial %d: dangling A-rowid %d", trial, c.arowid)
+			}
+		}
+	}
+}
+
+func TestFlushEmptyPoolIsNoop(t *testing.T) {
+	sink := &recordingSink{}
+	p, _ := NewPool(1, 10, sink)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Flushes != 0 {
+		t.Error("empty flush counted")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	for f, want := range map[Format]string{
+		FormatUndecided: "undecided",
+		FormatA:         "A(common-source)",
+		FormatB:         "B(coincidental)",
+		FormatNT:        "NT(fallback)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+	if got := Format(99).String(); got != fmt.Sprintf("Format(%d)", 99) {
+		t.Errorf("unknown format string = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package sortutil provides the tuple-sorting machinery shared by BUC-style
+// cube algorithms: sorting a segment of row indices by the (hierarchy-
+// mapped) value of one dimension, and iterating over the resulting runs of
+// equal values. Following the paper's remark that CountingSort instead of
+// QuickSort keeps BUC-based methods efficient under high skew, the
+// counting sort is the default whenever the key cardinality is reasonable,
+// with a three-way quicksort fallback.
+package sortutil
+
+// Keyer produces the sort key of fact-table row r (already an int32 code
+// in [0, Card)).
+type Keyer interface {
+	Key(r int32) int32
+	Card() int32
+}
+
+// SliceKeyer keys rows by a plain column.
+type SliceKeyer struct {
+	Col []int32
+	Hi  int32 // cardinality
+}
+
+// Key returns the code of row r.
+func (k SliceKeyer) Key(r int32) int32 { return k.Col[r] }
+
+// Card returns the key cardinality.
+func (k SliceKeyer) Card() int32 { return k.Hi }
+
+// MappedKeyer keys rows by a column mapped through a hierarchy level map.
+type MappedKeyer struct {
+	Col []int32
+	Map []int32
+	Hi  int32
+}
+
+// Key returns the mapped code of row r.
+func (k MappedKeyer) Key(r int32) int32 { return k.Map[k.Col[r]] }
+
+// Card returns the key cardinality.
+func (k MappedKeyer) Card() int32 { return k.Hi }
+
+// countingSortThreshold bounds the extra memory counting sort may use: we
+// fall back to quicksort when the key cardinality exceeds the segment
+// length by more than this factor (the counts array would be mostly
+// zeroes and its initialization would dominate).
+const countingSortThreshold = 4
+
+// Sorter sorts index segments, reusing scratch buffers across calls. It is
+// not safe for concurrent use; cube construction owns one per goroutine.
+type Sorter struct {
+	counts  []int32
+	scratch []int32
+	// ForceQuick disables counting sort; used by the ablation benchmark
+	// that reproduces the paper's CountingSort-vs-QuickSort remark.
+	ForceQuick bool
+	// ForceCounting disables the heuristic fallback to quicksort.
+	ForceCounting bool
+}
+
+// Sort reorders idx so that keys are non-decreasing. It chooses counting
+// sort when the cardinality is small relative to the segment, quicksort
+// otherwise.
+func (s *Sorter) Sort(idx []int32, key Keyer) {
+	if len(idx) < 2 {
+		return
+	}
+	card := int(key.Card())
+	useCounting := !s.ForceQuick && (s.ForceCounting || card <= countingSortThreshold*len(idx) || card <= 256)
+	if useCounting {
+		s.countingSort(idx, key, card)
+		return
+	}
+	s.quickSort(idx, key)
+}
+
+// countingSort is a stable distribution sort over codes [0, card).
+func (s *Sorter) countingSort(idx []int32, key Keyer, card int) {
+	if cap(s.counts) < card+1 {
+		s.counts = make([]int32, card+1)
+	}
+	counts := s.counts[:card+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, r := range idx {
+		counts[key.Key(r)+1]++
+	}
+	for i := 1; i <= card; i++ {
+		counts[i] += counts[i-1]
+	}
+	if cap(s.scratch) < len(idx) {
+		s.scratch = make([]int32, len(idx))
+	}
+	out := s.scratch[:len(idx)]
+	for _, r := range idx {
+		k := key.Key(r)
+		out[counts[k]] = r
+		counts[k]++
+	}
+	copy(idx, out)
+}
+
+// quickSort is a three-way (Dutch-flag) quicksort, robust to the long runs
+// of duplicate keys that cube segments are made of.
+func (s *Sorter) quickSort(idx []int32, key Keyer) {
+	for len(idx) > 12 {
+		lo, hi := threeWayPartition(idx, key)
+		// Recurse into the smaller side, loop on the larger, keeping the
+		// stack logarithmic even on adversarial inputs.
+		if lo < len(idx)-hi {
+			s.quickSort(idx[:lo], key)
+			idx = idx[hi:]
+		} else {
+			s.quickSort(idx[hi:], key)
+			idx = idx[:lo]
+		}
+	}
+	insertionSort(idx, key)
+}
+
+// threeWayPartition partitions idx around a median-of-three pivot and
+// returns the bounds [lo, hi) of the run equal to the pivot.
+func threeWayPartition(idx []int32, key Keyer) (int, int) {
+	n := len(idx)
+	a, b, c := key.Key(idx[0]), key.Key(idx[n/2]), key.Key(idx[n-1])
+	pivot := median3(a, b, c)
+	lo, mid, hi := 0, 0, n
+	for mid < hi {
+		k := key.Key(idx[mid])
+		switch {
+		case k < pivot:
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+			lo++
+			mid++
+		case k > pivot:
+			hi--
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		default:
+			mid++
+		}
+	}
+	return lo, hi
+}
+
+func median3(a, b, c int32) int32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func insertionSort(idx []int32, key Keyer) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && key.Key(idx[j]) < key.Key(idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// Segments iterates over maximal runs of equal keys in a sorted idx,
+// calling fn(lo, hi, key) for each run idx[lo:hi]. It is the
+// GetNextSegment loop of the paper's FollowEdge in callback form.
+func Segments(idx []int32, key Keyer, fn func(lo, hi int, code int32)) {
+	lo := 0
+	for lo < len(idx) {
+		code := key.Key(idx[lo])
+		hi := lo + 1
+		for hi < len(idx) && key.Key(idx[hi]) == code {
+			hi++
+		}
+		fn(lo, hi, code)
+		lo = hi
+	}
+}
+
+// IsSorted reports whether idx is sorted by key; used by tests.
+func IsSorted(idx []int32, key Keyer) bool {
+	for i := 1; i < len(idx); i++ {
+		if key.Key(idx[i]) < key.Key(idx[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Iota fills dst with 0..n-1, allocating if needed, and returns it.
+func Iota(dst []int32, n int) []int32 {
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int32(i)
+	}
+	return dst
+}

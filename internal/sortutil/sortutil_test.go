@@ -1,0 +1,219 @@
+package sortutil
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIota(t *testing.T) {
+	got := Iota(nil, 5)
+	if !reflect.DeepEqual(got, []int32{0, 1, 2, 3, 4}) {
+		t.Errorf("Iota = %v", got)
+	}
+	// Reuse path.
+	got = Iota(got, 3)
+	if !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("Iota reuse = %v", got)
+	}
+}
+
+func TestSortSmallAndEmpty(t *testing.T) {
+	var s Sorter
+	col := []int32{5, 3}
+	idx := []int32{}
+	s.Sort(idx, SliceKeyer{Col: col, Hi: 10})
+	idx = []int32{1}
+	s.Sort(idx, SliceKeyer{Col: col, Hi: 10})
+	if idx[0] != 1 {
+		t.Error("singleton disturbed")
+	}
+	idx = []int32{0, 1}
+	s.Sort(idx, SliceKeyer{Col: col, Hi: 10})
+	if !reflect.DeepEqual(idx, []int32{1, 0}) {
+		t.Errorf("pair sort = %v", idx)
+	}
+}
+
+func randomCase(rng *rand.Rand, n, card int) ([]int32, []int32) {
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(rng.Intn(card))
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return col, idx
+}
+
+func TestSortVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name string
+		conf func(*Sorter)
+	}{
+		{"auto", func(s *Sorter) {}},
+		{"quick", func(s *Sorter) { s.ForceQuick = true }},
+		{"counting", func(s *Sorter) { s.ForceCounting = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				n := 1 + rng.Intn(2000)
+				card := 1 + rng.Intn(5000)
+				col, idx := randomCase(rng, n, card)
+				var s Sorter
+				tc.conf(&s)
+				key := SliceKeyer{Col: col, Hi: int32(card)}
+				s.Sort(idx, key)
+				if !IsSorted(idx, key) {
+					t.Fatalf("trial %d (n=%d card=%d): not sorted", trial, n, card)
+				}
+				// Permutation check: every original index appears once.
+				seen := make([]bool, n)
+				for _, r := range idx {
+					if seen[r] {
+						t.Fatalf("trial %d: duplicate index %d", trial, r)
+					}
+					seen[r] = true
+				}
+			}
+		})
+	}
+}
+
+func TestCountingSortIsStable(t *testing.T) {
+	// Equal keys must preserve the input order of idx: BUC-style
+	// recursion depends on segments staying contiguous after re-sorts
+	// at coarser levels, and stability gives deterministic output.
+	col := []int32{1, 0, 1, 0, 1, 0}
+	idx := []int32{0, 1, 2, 3, 4, 5}
+	var s Sorter
+	s.ForceCounting = true
+	s.Sort(idx, SliceKeyer{Col: col, Hi: 2})
+	want := []int32{1, 3, 5, 0, 2, 4}
+	if !reflect.DeepEqual(idx, want) {
+		t.Errorf("counting sort order = %v, want %v", idx, want)
+	}
+}
+
+func TestMappedKeyer(t *testing.T) {
+	col := []int32{0, 1, 2, 3}
+	m := []int32{1, 1, 0, 0}
+	k := MappedKeyer{Col: col, Map: m, Hi: 2}
+	if k.Key(0) != 1 || k.Key(3) != 0 {
+		t.Error("MappedKeyer.Key wrong")
+	}
+	if k.Card() != 2 {
+		t.Error("MappedKeyer.Card wrong")
+	}
+	idx := []int32{0, 1, 2, 3}
+	var s Sorter
+	s.Sort(idx, k)
+	if !IsSorted(idx, k) {
+		t.Error("not sorted under mapped keys")
+	}
+	if idx[0] != 2 && idx[0] != 3 {
+		t.Errorf("mapped sort = %v", idx)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	col := []int32{3, 3, 5, 5, 5, 7}
+	idx := []int32{0, 1, 2, 3, 4, 5}
+	type seg struct {
+		lo, hi int
+		code   int32
+	}
+	var got []seg
+	Segments(idx, SliceKeyer{Col: col, Hi: 8}, func(lo, hi int, code int32) {
+		got = append(got, seg{lo, hi, code})
+	})
+	want := []seg{{0, 2, 3}, {2, 5, 5}, {5, 6, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Segments = %v, want %v", got, want)
+	}
+	// Empty input yields no segments.
+	got = nil
+	Segments(nil, SliceKeyer{Col: col, Hi: 8}, func(lo, hi int, code int32) {
+		got = append(got, seg{lo, hi, code})
+	})
+	if got != nil {
+		t.Error("segments on empty input")
+	}
+}
+
+func TestSegmentsCoverInput(t *testing.T) {
+	// Property: after sorting, segments tile [0, n) exactly and each
+	// segment is key-homogeneous.
+	f := func(seed int64, nRaw, cardRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%500) + 1
+		card := int(cardRaw%40) + 1
+		col, idx := randomCase(rng, n, card)
+		var s Sorter
+		key := SliceKeyer{Col: col, Hi: int32(card)}
+		s.Sort(idx, key)
+		next := 0
+		ok := true
+		Segments(idx, key, func(lo, hi int, code int32) {
+			if lo != next || hi <= lo {
+				ok = false
+			}
+			for i := lo; i < hi; i++ {
+				if key.Key(idx[i]) != code {
+					ok = false
+				}
+			}
+			next = hi
+		})
+		return ok && next == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVsCountingAgreeOnOrder(t *testing.T) {
+	// The two sorts may order equal keys differently, but the key
+	// sequences must be identical.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 3000
+		card := 100
+		col, idx := randomCase(rng, n, card)
+		idx2 := append([]int32(nil), idx...)
+		key := SliceKeyer{Col: col, Hi: int32(card)}
+		var q, c Sorter
+		q.ForceQuick = true
+		c.ForceCounting = true
+		q.Sort(idx, key)
+		c.Sort(idx2, key)
+		for i := range idx {
+			if key.Key(idx[i]) != key.Key(idx2[i]) {
+				t.Fatalf("key sequence diverges at %d", i)
+			}
+		}
+	}
+}
+
+func TestHighSkewSort(t *testing.T) {
+	// Long runs of one value — the regime where naive quicksort is
+	// quadratic; both variants must handle it (three-way partitioning).
+	n := 200000
+	col := make([]int32, n)
+	for i := n - 10; i < n; i++ {
+		col[i] = 1
+	}
+	idx := Iota(nil, n)
+	var s Sorter
+	s.ForceQuick = true
+	key := SliceKeyer{Col: col, Hi: 2}
+	s.Sort(idx, key)
+	if !IsSorted(idx, key) {
+		t.Error("skewed input not sorted")
+	}
+}

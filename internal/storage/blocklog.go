@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"cure/internal/lattice"
+)
+
+// blockLog is the sequential construction-time spill target for one
+// relation class (NT, TT, or CAT). Rows for the same node are staged in
+// memory and written as node-tagged blocks — header <nodeID int64,
+// payloadLen int32> followed by fixed-width rows — so construction I/O is
+// purely sequential no matter how the signature pool interleaves nodes.
+type blockLog struct {
+	path     string
+	f        *os.File
+	w        *bufio.Writer
+	rowWidth int
+	stages   map[lattice.NodeID][]byte
+	budget   *stageBudget
+	staged   int64
+	scratch  []byte
+	rows     int64
+	closed   bool
+}
+
+// stageBudget caps the total bytes staged across the logs that share it.
+type stageBudget struct {
+	limit int64
+	used  int64
+}
+
+func newBlockLog(path string, rowWidth int, budget *stageBudget) (*blockLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &blockLog{
+		path:     path,
+		f:        f,
+		w:        bufio.NewWriterSize(f, 1<<20),
+		rowWidth: rowWidth,
+		stages:   map[lattice.NodeID][]byte{},
+		budget:   budget,
+		scratch:  make([]byte, rowWidth),
+	}, nil
+}
+
+// rowBuf returns the shared scratch row buffer (rowWidth bytes); callers
+// fill it and pass it to append, which copies it.
+func (l *blockLog) rowBuf() []byte { return l.scratch }
+
+func (l *blockLog) append(node lattice.NodeID, row []byte) error {
+	l.stages[node] = append(l.stages[node], row[:l.rowWidth]...)
+	l.staged += int64(l.rowWidth)
+	l.budget.used += int64(l.rowWidth)
+	l.rows++
+	if l.budget.used > l.budget.limit {
+		return l.spill()
+	}
+	return nil
+}
+
+// spill writes all staged rows out as blocks and releases their budget.
+func (l *blockLog) spill() error {
+	var hdr [12]byte
+	for node, rows := range l.stages {
+		if len(rows) == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(node))
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(rows)))
+		if _, err := l.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := l.w.Write(rows); err != nil {
+			return err
+		}
+		delete(l.stages, node)
+	}
+	l.budget.used -= l.staged
+	l.staged = 0
+	return nil
+}
+
+// finish spills remaining stages and flushes the log to disk.
+func (l *blockLog) finish() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.spill(); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// scan replays the log, calling fn for every block.
+func (l *blockLog) scan(fn func(node lattice.NodeID, payload []byte) error) error {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [12]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("storage: scanning %s: %w", l.path, err)
+		}
+		node := lattice.NodeID(binary.LittleEndian.Uint64(hdr[0:]))
+		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("storage: scanning %s: truncated block: %w", l.path, err)
+		}
+		if err := fn(node, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// rewriteFunc converts one log row into its final on-disk form for node
+// id; dst is widthFn(id) bytes. A nil rewriteFunc means identity (final
+// width must equal the log row width).
+type rewriteFunc func(id lattice.NodeID, src, dst []byte) error
+
+// compactLog turns a block log into a compacted extent file: all rows of
+// a node stored contiguously, nodes in id order. done is called once per
+// node with its byte offset and row count.
+func compactLog(l *blockLog, finalPath string, widthFn func(lattice.NodeID) int, rewrite rewriteFunc, done func(id lattice.NodeID, off, rows int64)) error {
+	if err := l.finish(); err != nil {
+		return err
+	}
+	// Pass 1: row counts per node.
+	counts := map[lattice.NodeID]int64{}
+	if err := l.scan(func(node lattice.NodeID, payload []byte) error {
+		counts[node] += int64(len(payload) / l.rowWidth)
+		return nil
+	}); err != nil {
+		return err
+	}
+	ids := make([]lattice.NodeID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	offsets := make(map[lattice.NodeID]int64, len(counts))
+	cursor := make(map[lattice.NodeID]int64, len(counts))
+	var off int64
+	for _, id := range ids {
+		offsets[id] = off
+		cursor[id] = off
+		off += counts[id] * int64(widthFn(id))
+	}
+	out, err := os.Create(finalPath)
+	if err != nil {
+		return err
+	}
+	// Pass 2: place blocks at their node cursors.
+	var outBuf []byte
+	err = l.scan(func(node lattice.NodeID, payload []byte) error {
+		rows := len(payload) / l.rowWidth
+		w := widthFn(node)
+		var data []byte
+		if rewrite == nil && w == l.rowWidth {
+			data = payload
+		} else {
+			need := rows * w
+			if cap(outBuf) < need {
+				outBuf = make([]byte, need)
+			}
+			data = outBuf[:need]
+			for i := 0; i < rows; i++ {
+				if err := rewrite(node, payload[i*l.rowWidth:(i+1)*l.rowWidth], data[i*w:(i+1)*w]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := out.WriteAt(data, cursor[node]); err != nil {
+			return err
+		}
+		cursor[node] += int64(len(data))
+		return nil
+	})
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		done(id, offsets[id], counts[id])
+	}
+	return os.Remove(l.path)
+}

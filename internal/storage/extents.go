@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"cure/internal/lattice"
+)
+
+// Extent locates one node's rows inside a compacted extent file.
+type Extent struct {
+	Off  int64 `json:"off"`
+	Rows int64 `json:"rows"`
+}
+
+// ExtentWriter is the generic node-tagged spill-and-compact store used by
+// the baseline implementations (BUC's per-node cube relations). Rows are
+// fixed width; construction appends in any node order; Compact produces a
+// file with each node's rows contiguous.
+type ExtentWriter struct {
+	log      *blockLog
+	rowWidth int
+}
+
+// NewExtentWriter creates the construction log at logPath.
+func NewExtentWriter(logPath string, rowWidth int, budgetBytes int64) (*ExtentWriter, error) {
+	if budgetBytes <= 0 {
+		budgetBytes = 8 << 20
+	}
+	l, err := newBlockLog(logPath, rowWidth, &stageBudget{limit: budgetBytes})
+	if err != nil {
+		return nil, err
+	}
+	return &ExtentWriter{log: l, rowWidth: rowWidth}, nil
+}
+
+// RowWidth returns the fixed row width.
+func (w *ExtentWriter) RowWidth() int { return w.rowWidth }
+
+// Append adds one row (must be RowWidth bytes) for node.
+func (w *ExtentWriter) Append(node lattice.NodeID, row []byte) error {
+	if len(row) != w.rowWidth {
+		return fmt.Errorf("storage: extent row is %d bytes, want %d", len(row), w.rowWidth)
+	}
+	return w.log.append(node, row)
+}
+
+// Rows returns the number of rows appended so far.
+func (w *ExtentWriter) Rows() int64 { return w.log.rows }
+
+// Compact turns the log into the extent file at finalPath, removes the
+// log, and returns the per-node extents (byte offsets).
+func (w *ExtentWriter) Compact(finalPath string) (map[lattice.NodeID]Extent, error) {
+	extents := map[lattice.NodeID]Extent{}
+	err := compactLog(w.log, finalPath, func(lattice.NodeID) int { return w.rowWidth }, nil,
+		func(id lattice.NodeID, off, rows int64) {
+			extents[id] = Extent{Off: off, Rows: rows}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return extents, nil
+}
+
+// Abort discards the log without compacting.
+func (w *ExtentWriter) Abort() {
+	w.log.f.Close()
+	os.Remove(w.log.path)
+}
+
+// ReadExtent reads rows [0, ext.Rows) of an extent into a buffer.
+func ReadExtent(f *os.File, ext Extent, rowWidth int) ([]byte, error) {
+	buf := make([]byte, ext.Rows*int64(rowWidth))
+	if ext.Rows == 0 {
+		return buf, nil
+	}
+	if _, err := f.ReadAt(buf, ext.Off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,187 @@
+// Package storage implements CURE's relational cube store (§5): per-node
+// NT, TT, and CAT relations, the shared AGGREGATES relation, and the
+// CURE+ post-processing step (sorted row-ids, bitmap indices).
+//
+// During construction, classified tuples arrive interleaved across nodes
+// (the signature pool flushes whenever it fills), so the writer appends
+// node-tagged blocks to sequential log files. Finalize compacts the logs
+// into per-node extents inside one file per relation class — the paper's
+// D = 28 experiment materializes 88,932 relations, which would be
+// pathological as individual files — and records the extents in a JSON
+// manifest next to the data.
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cure/internal/lattice"
+	"cure/internal/relation"
+	"cure/internal/signature"
+)
+
+// File names inside a cube directory.
+const (
+	ManifestFile = "manifest.json"
+	HierFile     = "hier.gob"
+	NTFile       = "nt.bin"
+	TTFile       = "tt.bin"
+	CATFile      = "cat.bin"
+	AggFile      = "agg.bin"
+	BitmapFile   = "ttbm.bin"
+)
+
+// TTKind says how a node's trivial tuples are materialized.
+type TTKind uint8
+
+const (
+	// TTIDs stores trivial tuples as an extent of 8-byte row-ids.
+	TTIDs TTKind = iota
+	// TTBitmap stores them as a bitmap over the fact table (CURE+ when
+	// the id set is dense enough).
+	TTBitmap
+)
+
+// NodeMeta records where one lattice node's tuples live inside the
+// compacted relation files. Offsets are byte offsets; counts are rows.
+type NodeMeta struct {
+	NTOff   int64  `json:"nt_off"`
+	NTRows  int64  `json:"nt_rows"`
+	TTOff   int64  `json:"tt_off"`
+	TTRows  int64  `json:"tt_rows"`
+	TTKind  TTKind `json:"tt_kind"`
+	TTBmLen int64  `json:"tt_bm_len,omitempty"` // bitmap byte length when TTKind == TTBitmap
+	CATOff  int64  `json:"cat_off"`
+	CATRows int64  `json:"cat_rows"`
+}
+
+// Sizes breaks down the on-disk footprint of a cube, the quantity the
+// paper's storage-space figures report.
+type Sizes struct {
+	NT     int64 `json:"nt"`
+	TT     int64 `json:"tt"`
+	CAT    int64 `json:"cat"`
+	Agg    int64 `json:"agg"`
+	Bitmap int64 `json:"bitmap"`
+}
+
+// Total returns the cube data footprint in bytes.
+func (s Sizes) Total() int64 { return s.NT + s.TT + s.CAT + s.Agg + s.Bitmap }
+
+// Manifest is the catalog of a cube directory.
+type Manifest struct {
+	Version int `json:"version"`
+	// AggSpecs are the cube's aggregate definitions in fact-table terms.
+	AggSpecs []relation.AggSpec `json:"agg_specs"`
+	// CatFormat is the CAT storage format locked during construction.
+	CatFormat signature.Format `json:"cat_format"`
+	// DimsInline marks the CURE_DR variant: NT rows carry projected
+	// dimension values instead of an R-rowid.
+	DimsInline bool `json:"dims_inline"`
+	// Plus marks CURE+ post-processing (sorted row-ids / bitmaps).
+	Plus bool `json:"plus"`
+	// PartitionLevel is the level L of dimension 0 the build partitioned
+	// on, or -1 for an in-memory build. It bounds trivial-tuple sharing
+	// (see lattice.PlanPathFrom).
+	PartitionLevel int `json:"partition_level"`
+	// PartitionLevelB is the level M of dimension 1 when the build used
+	// pair partitioning (§4's omitted extension), or -1 otherwise.
+	PartitionLevelB int `json:"partition_level_b"`
+	// ShortPlan marks a cube built with the shortest hierarchical plan
+	// (the paper's P2, used only by the plan-height ablation); trivial
+	// tuples are then shared along drop-rightmost-dimension chains.
+	ShortPlan bool `json:"short_plan,omitempty"`
+	// FactFile is the path of the fact table the cube's row-ids point
+	// into (relative paths are resolved against the cube directory).
+	FactFile string `json:"fact_file"`
+	// FactRows is the row count of that fact table.
+	FactRows int64 `json:"fact_rows"`
+	// AggRows is the number of tuples in the AGGREGATES relation.
+	AggRows int64 `json:"agg_rows"`
+	// Nodes maps node ids (as decimal strings, a JSON map-key
+	// restriction) to their extents. Nodes with no materialized tuples
+	// are absent.
+	Nodes map[string]NodeMeta `json:"nodes"`
+	// Sizes is the on-disk footprint breakdown.
+	Sizes Sizes `json:"sizes"`
+	// Checksums maps relation file names to their CRC-32 (IEEE) over the
+	// whole file, computed at finalize; Reader.VerifyChecksums rechecks
+	// them on demand.
+	Checksums map[string]uint32 `json:"checksums,omitempty"`
+	// Iceberg is the min-count threshold the cube was built with (1 for
+	// a complete cube).
+	Iceberg int64 `json:"iceberg"`
+}
+
+// NodeMeta returns the extent record for a node.
+func (m *Manifest) NodeMeta(id lattice.NodeID) (NodeMeta, bool) {
+	nm, ok := m.Nodes[fmt.Sprintf("%d", id)]
+	return nm, ok
+}
+
+// NumAggrs returns Y, the number of aggregate columns.
+func (m *Manifest) NumAggrs() int { return len(m.AggSpecs) }
+
+// ntRowWidth returns the byte width of one NT row of the given node.
+// Plain CURE: <R-rowid, aggrs> (8 + 8Y). CURE_DR: <dims…, aggrs>
+// (4·arity + 8Y) where arity is the node's grouping arity.
+func (m *Manifest) ntRowWidth(arity int) int {
+	if m.DimsInline {
+		return 4*arity + 8*m.NumAggrs()
+	}
+	return 8 + 8*m.NumAggrs()
+}
+
+// catRowWidth returns the byte width of one compacted CAT row.
+func (m *Manifest) catRowWidth() int {
+	if m.CatFormat == signature.FormatA {
+		return 8 // bare A-rowid
+	}
+	return 16 // <R-rowid, A-rowid>
+}
+
+// aggRowWidth returns the byte width of one AGGREGATES row.
+func (m *Manifest) aggRowWidth() int {
+	if m.CatFormat == signature.FormatA {
+		return 8 + 8*m.NumAggrs()
+	}
+	return 8 * m.NumAggrs()
+}
+
+// WriteManifest writes m into dir.
+func WriteManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("storage: marshaling manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestFile), data, 0o644)
+}
+
+// ReadManifest loads the manifest of a cube directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("storage: parsing manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("storage: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return m, nil
+}
+
+const manifestVersion = 1
+
+// resolveFactPath resolves the manifest's fact-file reference against the
+// cube directory.
+func resolveFactPath(dir, factFile string) string {
+	if filepath.IsAbs(factFile) {
+		return factFile
+	}
+	return filepath.Join(dir, factFile)
+}

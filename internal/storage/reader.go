@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cure/internal/bitmap"
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/signature"
+)
+
+// Reader opens a finalized cube directory for query answering.
+type Reader struct {
+	dir  string
+	m    *Manifest
+	hier *hierarchy.Schema
+	enum *lattice.Enum
+
+	ntF, ttF, catF, aggF, bmF *os.File
+}
+
+// OpenReader loads the manifest and hierarchy of a cube directory and
+// opens its relation files.
+func OpenReader(dir string) (*Reader, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := hierarchy.ReadSchemaFile(filepath.Join(dir, HierFile))
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir, m: m, hier: hier, enum: lattice.NewEnum(hier)}
+	open := func(name string, dst **os.File, required bool) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			if os.IsNotExist(err) && !required {
+				return nil
+			}
+			return err
+		}
+		*dst = f
+		return nil
+	}
+	for _, x := range []struct {
+		name     string
+		dst      **os.File
+		required bool
+	}{
+		{NTFile, &r.ntF, true}, {TTFile, &r.ttF, true}, {CATFile, &r.catF, true},
+		{AggFile, &r.aggF, true}, {BitmapFile, &r.bmF, false},
+	} {
+		if err := open(x.name, x.dst, x.required); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Close releases the reader's file handles.
+func (r *Reader) Close() error {
+	var first error
+	for _, f := range []*os.File{r.ntF, r.ttF, r.catF, r.aggF, r.bmF} {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Manifest returns the cube catalog.
+func (r *Reader) Manifest() *Manifest { return r.m }
+
+// Hier returns the hierarchical schema the cube was built over.
+func (r *Reader) Hier() *hierarchy.Schema { return r.hier }
+
+// Enum returns the node enumeration of the schema.
+func (r *Reader) Enum() *lattice.Enum { return r.enum }
+
+// FactPath returns the resolved path of the fact table the cube's
+// row-ids reference.
+func (r *Reader) FactPath() string { return resolveFactPath(r.dir, r.m.FactFile) }
+
+// TTRowIDs returns the trivial-tuple row-ids stored at node id (only the
+// tuples stored there — callers assemble the full TT set of a node from
+// its plan path).
+func (r *Reader) TTRowIDs(id lattice.NodeID, dst []int64) ([]int64, error) {
+	nm, ok := r.m.NodeMeta(id)
+	if !ok || nm.TTRows == 0 {
+		return dst[:0], nil
+	}
+	if nm.TTKind == TTBitmap {
+		buf := make([]byte, nm.TTBmLen)
+		if _, err := r.bmF.ReadAt(buf, nm.TTOff); err != nil {
+			return nil, fmt.Errorf("storage: TT bitmap of node %d: %w", id, err)
+		}
+		bm, err := bitmap.Unmarshal(buf)
+		if err != nil {
+			return nil, err
+		}
+		dst = dst[:0]
+		bm.ForEach(func(i int64) bool {
+			dst = append(dst, i)
+			return true
+		})
+		return dst, nil
+	}
+	buf := make([]byte, nm.TTRows*ttLogRowWidth)
+	if _, err := r.ttF.ReadAt(buf, nm.TTOff); err != nil {
+		return nil, fmt.Errorf("storage: TT extent of node %d: %w", id, err)
+	}
+	if cap(dst) < int(nm.TTRows) {
+		dst = make([]int64, 0, nm.TTRows)
+	}
+	dst = dst[:0]
+	for i := int64(0); i < nm.TTRows; i++ {
+		dst = append(dst, getInt64(buf[i*8:]))
+	}
+	return dst, nil
+}
+
+// NTRow is one decoded normal tuple. Exactly one of RRowid / Dims is
+// meaningful, depending on Manifest.DimsInline.
+type NTRow struct {
+	RRowid int64
+	Dims   []int32 // projected codes at the node's levels (CURE_DR only)
+	Aggrs  []float64
+}
+
+// NTRows streams the normal tuples of node id. The row passed to fn
+// reuses internal buffers; copy what must outlive the call.
+func (r *Reader) NTRows(id lattice.NodeID, fn func(row NTRow) error) error {
+	nm, ok := r.m.NodeMeta(id)
+	if !ok || nm.NTRows == 0 {
+		return nil
+	}
+	arity := r.nodeArity(id)
+	width := r.m.ntRowWidth(arity)
+	buf := make([]byte, nm.NTRows*int64(width))
+	if _, err := r.ntF.ReadAt(buf, nm.NTOff); err != nil {
+		return fmt.Errorf("storage: NT extent of node %d: %w", id, err)
+	}
+	row := NTRow{Aggrs: make([]float64, r.m.NumAggrs())}
+	if r.m.DimsInline {
+		row.Dims = make([]int32, arity)
+	}
+	for i := int64(0); i < nm.NTRows; i++ {
+		rec := buf[i*int64(width) : (i+1)*int64(width)]
+		if r.m.DimsInline {
+			getDims(rec, row.Dims)
+			getAggrs(rec[4*arity:], row.Aggrs)
+			row.RRowid = -1
+		} else {
+			row.RRowid = getInt64(rec)
+			getAggrs(rec[8:], row.Aggrs)
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CATRow is one decoded common-aggregate tuple reference. RRowid is -1
+// under format (a) (it lives in AGGREGATES).
+type CATRow struct {
+	RRowid int64
+	ARowid int64
+}
+
+// CATRows streams the CAT references of node id.
+func (r *Reader) CATRows(id lattice.NodeID, fn func(row CATRow) error) error {
+	nm, ok := r.m.NodeMeta(id)
+	if !ok || nm.CATRows == 0 {
+		return nil
+	}
+	width := r.m.catRowWidth()
+	buf := make([]byte, nm.CATRows*int64(width))
+	if _, err := r.catF.ReadAt(buf, nm.CATOff); err != nil {
+		return fmt.Errorf("storage: CAT extent of node %d: %w", id, err)
+	}
+	for i := int64(0); i < nm.CATRows; i++ {
+		rec := buf[i*int64(width):]
+		var row CATRow
+		if r.m.CatFormat == signature.FormatA {
+			row.RRowid = -1
+			row.ARowid = getInt64(rec)
+		} else {
+			row.RRowid = getInt64(rec)
+			row.ARowid = getInt64(rec[8:])
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAggregate fetches AGGREGATES tuple arowid. Under format (a) the
+// returned rrowid is the shared source row-id; under format (b) it is -1.
+func (r *Reader) ReadAggregate(arowid int64, aggrs []float64) (int64, error) {
+	if arowid < 0 || arowid >= r.m.AggRows {
+		return 0, fmt.Errorf("storage: A-rowid %d out of range [0,%d)", arowid, r.m.AggRows)
+	}
+	width := r.m.aggRowWidth()
+	buf := make([]byte, width)
+	if _, err := r.aggF.ReadAt(buf, arowid*int64(width)); err != nil {
+		return 0, err
+	}
+	rrowid := int64(-1)
+	off := 0
+	if r.m.CatFormat == signature.FormatA {
+		rrowid = getInt64(buf)
+		off = 8
+	}
+	getAggrs(buf[off:], aggrs[:r.m.NumAggrs()])
+	return rrowid, nil
+}
+
+// AggregatesRaw reads the entire AGGREGATES relation into one raw buffer;
+// the query cache uses it to pin the relation in memory (§5.3 singles out
+// AGGREGATES, together with the fact table, as the two relations worth
+// caching).
+func (r *Reader) AggregatesRaw() ([]byte, error) {
+	width := int64(r.m.aggRowWidth())
+	buf := make([]byte, r.m.AggRows*width)
+	if r.m.AggRows == 0 {
+		return buf, nil
+	}
+	if _, err := r.aggF.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// DecodeAggregate decodes row arowid from a buffer returned by
+// AggregatesRaw.
+func (r *Reader) DecodeAggregate(raw []byte, arowid int64, aggrs []float64) int64 {
+	width := int64(r.m.aggRowWidth())
+	rec := raw[arowid*width:]
+	rrowid := int64(-1)
+	off := 0
+	if r.m.CatFormat == signature.FormatA {
+		rrowid = getInt64(rec)
+		off = 8
+	}
+	getAggrs(rec[off:], aggrs[:r.m.NumAggrs()])
+	return rrowid
+}
+
+// nodeArity returns the grouping arity of node id.
+func (r *Reader) nodeArity(id lattice.NodeID) int {
+	levels := r.enum.Decode(id, nil)
+	arity := 0
+	for d, l := range levels {
+		if !r.hier.Dims[d].IsAll(l) {
+			arity++
+		}
+	}
+	return arity
+}
+
+// NodeTupleCount returns the number of materialized tuples stored AT node
+// id (excluding trivial tuples inherited from plan ancestors).
+func (r *Reader) NodeTupleCount(id lattice.NodeID) int64 {
+	nm, ok := r.m.NodeMeta(id)
+	if !ok {
+		return 0
+	}
+	return nm.NTRows + nm.TTRows + nm.CATRows
+}
+
+// VerifyChecksums recomputes the CRC-32 of every relation file and
+// compares it with the manifest, returning the names of corrupted files
+// (bit rot, truncation, or out-of-band edits). Cubes written before
+// checksumming existed (no recorded sums) verify trivially.
+func (r *Reader) VerifyChecksums() ([]string, error) {
+	var bad []string
+	for name, want := range r.m.Checksums {
+		got, err := fileChecksum(filepath.Join(r.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if got != want {
+			bad = append(bad, name)
+		}
+	}
+	sort.Strings(bad)
+	return bad, nil
+}

@@ -1,0 +1,516 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cure/internal/bitmap"
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/relation"
+	"cure/internal/signature"
+)
+
+// DimResolver fetches the base-level dimension codes of an original
+// fact-table row. The CURE_DR variant needs it during compaction to
+// replace NT row-ids with projected dimension values; the in-memory build
+// path backs it with the loaded table, the partitioned path with a
+// relation.FactReader.
+type DimResolver func(rrowid int64, dst []int32) error
+
+// Options configures a cube writer.
+type Options struct {
+	// Dir is the cube directory (created if missing).
+	Dir string
+	// Hier is the hierarchical schema the cube is built over.
+	Hier *hierarchy.Schema
+	// AggSpecs are the cube's aggregates (Y = len).
+	AggSpecs []relation.AggSpec
+	// FactFile is the fact table path recorded for query-time row-id
+	// dereferencing.
+	FactFile string
+	// FactRows is the fact table's row count.
+	FactRows int64
+	// DimsInline selects the CURE_DR variant.
+	DimsInline bool
+	// Plus selects CURE+ post-processing at Finalize.
+	Plus bool
+	// ShortPlan records that the build used the shortest plan (P2).
+	ShortPlan bool
+	// Resolver is required when DimsInline is set.
+	Resolver DimResolver
+	// StageBudget bounds the bytes buffered across per-node stages
+	// before they are spilled to the logs (default 8 MiB).
+	StageBudget int64
+	// Iceberg records the min-count threshold of the build (default 1).
+	Iceberg int64
+}
+
+// Writer materializes a cube. It implements signature.Sink for NT/CAT
+// traffic and additionally receives trivial tuples directly (they bypass
+// the signature pool). Finalize compacts everything and writes the
+// manifest. A Writer is single-goroutine, like the construction it backs.
+type Writer struct {
+	opts Options
+	enum *lattice.Enum
+	// mu serializes sink calls when the build runs partition workers in
+	// parallel; taken only after Lock() arms it.
+	mu     sync.Mutex
+	locked bool
+
+	ntLog, ttLog, catLog *blockLog
+	aggF                 *os.File
+	aggW                 *bufio.Writer
+	aggRows              int64
+	aggBuf               []byte
+
+	catFormat  signature.Format
+	partLevel  int
+	partLevelB int
+
+	finalized bool
+}
+
+// NewWriter creates the cube directory and opens the construction logs.
+func NewWriter(opts Options) (*Writer, error) {
+	if len(opts.AggSpecs) == 0 {
+		return nil, errors.New("storage: cube needs at least one aggregate")
+	}
+	if opts.DimsInline && opts.Resolver == nil {
+		return nil, errors.New("storage: DimsInline requires a Resolver")
+	}
+	if opts.StageBudget <= 0 {
+		opts.StageBudget = 8 << 20
+	}
+	if opts.Iceberg <= 0 {
+		opts.Iceberg = 1
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &Writer{opts: opts, enum: lattice.NewEnum(opts.Hier), partLevel: -1, partLevelB: -1}
+	share := &stageBudget{limit: opts.StageBudget}
+	var err error
+	if w.ntLog, err = newBlockLog(filepath.Join(opts.Dir, NTFile+".log"), ntLogRowWidth(len(opts.AggSpecs)), share); err != nil {
+		return nil, err
+	}
+	if w.ttLog, err = newBlockLog(filepath.Join(opts.Dir, TTFile+".log"), ttLogRowWidth, share); err != nil {
+		return nil, err
+	}
+	if w.catLog, err = newBlockLog(filepath.Join(opts.Dir, CATFile+".log"), catLogRowWidth, share); err != nil {
+		return nil, err
+	}
+	if w.aggF, err = os.Create(filepath.Join(opts.Dir, AggFile)); err != nil {
+		return nil, err
+	}
+	w.aggW = bufio.NewWriterSize(w.aggF, 1<<20)
+	w.aggBuf = make([]byte, 8+8*len(opts.AggSpecs))
+	return w, nil
+}
+
+// Enum returns the node enumeration of the cube's schema.
+func (w *Writer) Enum() *lattice.Enum { return w.enum }
+
+// SetPartitionLevel records the external-partitioning level L (dimension
+// 0) so queries can bound trivial-tuple sharing correctly.
+func (w *Writer) SetPartitionLevel(l int) { w.partLevel = l }
+
+// SetPartitionLevelPair records pair-partitioning levels (L, M) on
+// dimensions 0 and 1.
+func (w *Writer) SetPartitionLevelPair(la, lb int) {
+	w.partLevel = la
+	w.partLevelB = lb
+}
+
+// Lock arms internal locking so several construction workers may share
+// the writer; single-threaded builds skip the mutex entirely.
+func (w *Writer) Lock() { w.locked = true }
+
+func (w *Writer) lock() {
+	if w.locked {
+		w.mu.Lock()
+	}
+}
+
+func (w *Writer) unlock() {
+	if w.locked {
+		w.mu.Unlock()
+	}
+}
+
+// WriteNT implements signature.Sink.
+func (w *Writer) WriteNT(node lattice.NodeID, rrowid int64, aggrs []float64) error {
+	w.lock()
+	defer w.unlock()
+	row := w.ntLog.rowBuf()
+	putInt64(row, rrowid)
+	putAggrs(row[8:], aggrs)
+	return w.ntLog.append(node, row)
+}
+
+// AppendAggregate implements signature.Sink. Rows are written in final
+// form immediately (the CAT format is locked before the first call);
+// A-rowids are the append order.
+func (w *Writer) AppendAggregate(rrowid int64, aggrs []float64) (int64, error) {
+	w.lock()
+	defer w.unlock()
+	inferred := signature.FormatB
+	if rrowid >= 0 {
+		inferred = signature.FormatA
+	}
+	switch w.catFormat {
+	case signature.FormatUndecided:
+		w.catFormat = inferred
+	case inferred:
+	default:
+		return 0, fmt.Errorf("storage: AGGREGATES format flip: had %v, got %v", w.catFormat, inferred)
+	}
+	buf := w.aggBuf[:0]
+	if rrowid >= 0 {
+		buf = buf[:8]
+		putInt64(buf, rrowid)
+	}
+	off := len(buf)
+	buf = buf[:off+8*len(aggrs)]
+	putAggrs(buf[off:], aggrs)
+	if _, err := w.aggW.Write(buf); err != nil {
+		return 0, err
+	}
+	id := w.aggRows
+	w.aggRows++
+	return id, nil
+}
+
+// WriteCAT implements signature.Sink.
+func (w *Writer) WriteCAT(node lattice.NodeID, rrowid, arowid int64) error {
+	w.lock()
+	defer w.unlock()
+	row := w.catLog.rowBuf()
+	putInt64(row, rrowid)
+	putInt64(row[8:], arowid)
+	return w.catLog.append(node, row)
+}
+
+// WriteTT records a trivial tuple: just the R-rowid, stored once in its
+// least detailed node.
+func (w *Writer) WriteTT(node lattice.NodeID, rrowid int64) error {
+	w.lock()
+	defer w.unlock()
+	row := w.ttLog.rowBuf()
+	putInt64(row, rrowid)
+	return w.ttLog.append(node, row)
+}
+
+// Finalize compacts the logs into per-node extents, runs CURE+
+// post-processing if requested, writes the manifest and hierarchy sidecar,
+// and removes the logs. catFormat is the format the signature pool locked
+// (FormatUndecided is acceptable when no CATs exist).
+func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
+	if w.finalized {
+		return nil, errors.New("storage: Finalize called twice")
+	}
+	w.finalized = true
+	if w.catFormat == signature.FormatUndecided {
+		w.catFormat = catFormat
+	} else if catFormat != signature.FormatUndecided && catFormat != w.catFormat {
+		return nil, fmt.Errorf("storage: pool format %v disagrees with written AGGREGATES format %v", catFormat, w.catFormat)
+	}
+	if w.catFormat == signature.FormatUndecided {
+		w.catFormat = signature.FormatNT // no CATs anywhere; pick the degenerate format
+	}
+	if err := w.aggW.Flush(); err != nil {
+		return nil, err
+	}
+	if err := w.aggF.Close(); err != nil {
+		return nil, err
+	}
+
+	m := &Manifest{
+		Version:         manifestVersion,
+		AggSpecs:        w.opts.AggSpecs,
+		CatFormat:       w.catFormat,
+		DimsInline:      w.opts.DimsInline,
+		Plus:            w.opts.Plus,
+		PartitionLevel:  w.partLevel,
+		PartitionLevelB: w.partLevelB,
+		ShortPlan:       w.opts.ShortPlan,
+		FactFile:        w.opts.FactFile,
+		FactRows:        w.opts.FactRows,
+		AggRows:         w.aggRows,
+		Nodes:           map[string]NodeMeta{},
+		Iceberg:         w.opts.Iceberg,
+	}
+
+	// Compact each log into its extent file.
+	ntW := ntCompactor{w: w, m: m}
+	if err := compactLog(w.ntLog, filepath.Join(w.opts.Dir, NTFile), ntW.width, ntW.rewrite, func(id lattice.NodeID, off, rows int64) {
+		nm := m.Nodes[nodeKey(id)]
+		nm.NTOff, nm.NTRows = off, rows
+		m.Nodes[nodeKey(id)] = nm
+	}); err != nil {
+		return nil, err
+	}
+	if err := compactLog(w.ttLog, filepath.Join(w.opts.Dir, TTFile), func(lattice.NodeID) int { return ttLogRowWidth }, nil, func(id lattice.NodeID, off, rows int64) {
+		nm := m.Nodes[nodeKey(id)]
+		nm.TTOff, nm.TTRows = off, rows
+		m.Nodes[nodeKey(id)] = nm
+	}); err != nil {
+		return nil, err
+	}
+	catW := catCompactor{format: w.catFormat}
+	if err := compactLog(w.catLog, filepath.Join(w.opts.Dir, CATFile), func(lattice.NodeID) int { return m.catRowWidth() }, catW.rewrite, func(id lattice.NodeID, off, rows int64) {
+		nm := m.Nodes[nodeKey(id)]
+		nm.CATOff, nm.CATRows = off, rows
+		m.Nodes[nodeKey(id)] = nm
+	}); err != nil {
+		return nil, err
+	}
+
+	if w.opts.Plus {
+		if err := w.postProcess(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Footprint accounting and integrity checksums.
+	m.Checksums = map[string]uint32{}
+	for _, f := range []struct {
+		name string
+		dst  *int64
+	}{
+		{NTFile, &m.Sizes.NT}, {TTFile, &m.Sizes.TT}, {CATFile, &m.Sizes.CAT},
+		{AggFile, &m.Sizes.Agg}, {BitmapFile, &m.Sizes.Bitmap},
+	} {
+		path := filepath.Join(w.opts.Dir, f.name)
+		if fi, err := os.Stat(path); err == nil {
+			*f.dst = fi.Size()
+			sum, err := fileChecksum(path)
+			if err != nil {
+				return nil, err
+			}
+			m.Checksums[f.name] = sum
+		}
+	}
+
+	if err := hierarchy.WriteSchemaFile(filepath.Join(w.opts.Dir, HierFile), w.opts.Hier); err != nil {
+		return nil, err
+	}
+	if err := WriteManifest(w.opts.Dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Abort releases writer resources without finalizing (best effort).
+func (w *Writer) Abort() {
+	if w.finalized {
+		return
+	}
+	w.finalized = true
+	for _, l := range []*blockLog{w.ntLog, w.ttLog, w.catLog} {
+		if l != nil {
+			l.f.Close()
+			os.Remove(l.path)
+		}
+	}
+	if w.aggF != nil {
+		w.aggF.Close()
+	}
+}
+
+func nodeKey(id lattice.NodeID) string { return fmt.Sprintf("%d", id) }
+
+// ntCompactor rewrites NT log rows into their final shape. For plain CURE
+// the log row already is the final row; for CURE_DR the R-rowid is
+// resolved to base dims and projected onto the node's levels.
+type ntCompactor struct {
+	w      *Writer
+	m      *Manifest
+	levels []int
+	dims   []int32
+	proj   []int32
+}
+
+func (c *ntCompactor) arity(id lattice.NodeID) int {
+	c.levels = c.w.enum.Decode(id, c.levels)
+	arity := 0
+	for d, l := range c.levels {
+		if !c.w.opts.Hier.Dims[d].IsAll(l) {
+			arity++
+		}
+	}
+	return arity
+}
+
+func (c *ntCompactor) width(id lattice.NodeID) int {
+	if !c.w.opts.DimsInline {
+		return ntLogRowWidth(len(c.w.opts.AggSpecs))
+	}
+	return c.m.ntRowWidth(c.arity(id))
+}
+
+// rewrite converts one log row into the final row for node id. dst has
+// width(id) bytes. With DimsInline unset it is nil (identity copy).
+func (c *ntCompactor) rewrite(id lattice.NodeID, src, dst []byte) error {
+	if !c.w.opts.DimsInline {
+		copy(dst, src)
+		return nil
+	}
+	rrowid := getInt64(src)
+	hier := c.w.opts.Hier
+	if cap(c.dims) < len(hier.Dims) {
+		c.dims = make([]int32, len(hier.Dims))
+		c.proj = make([]int32, len(hier.Dims))
+	}
+	c.dims = c.dims[:len(hier.Dims)]
+	if err := c.w.opts.Resolver(rrowid, c.dims); err != nil {
+		return fmt.Errorf("storage: resolving dims of row %d: %w", rrowid, err)
+	}
+	c.levels = c.w.enum.Decode(id, c.levels)
+	proj := c.proj[:0]
+	for d, l := range c.levels {
+		if hier.Dims[d].IsAll(l) {
+			continue
+		}
+		proj = append(proj, hier.Dims[d].MapCode(c.dims[d], l))
+	}
+	putDims(dst, proj)
+	copy(dst[4*len(proj):], src[8:8+8*len(c.w.opts.AggSpecs)])
+	return nil
+}
+
+// catCompactor shrinks CAT log rows to the final width under format (a).
+type catCompactor struct{ format signature.Format }
+
+func (c catCompactor) rewrite(id lattice.NodeID, src, dst []byte) error {
+	if c.format == signature.FormatA {
+		copy(dst, src[8:16]) // keep only the A-rowid
+		return nil
+	}
+	copy(dst, src)
+	return nil
+}
+
+// postProcess implements §5.3 for CURE+: per node, sort TT row-ids (and
+// format-(a) CAT rows by A-rowid) to produce sequential scans, and convert
+// dense TT id sets into bitmap indices over the fact table.
+func (w *Writer) postProcess(m *Manifest) error {
+	ttPath := filepath.Join(w.opts.Dir, TTFile)
+	ttF, err := os.OpenFile(ttPath, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer ttF.Close()
+	var bmF *os.File
+	var bmOff int64
+	ids := make([]int64, 0, 1024)
+	keys := make([]string, 0, len(m.Nodes))
+	for k := range m.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nm := m.Nodes[k]
+		if nm.TTRows == 0 {
+			continue
+		}
+		buf := make([]byte, nm.TTRows*ttLogRowWidth)
+		if _, err := ttF.ReadAt(buf, nm.TTOff); err != nil {
+			return err
+		}
+		ids = ids[:0]
+		for i := int64(0); i < nm.TTRows; i++ {
+			ids = append(ids, getInt64(buf[i*8:]))
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if bitmap.DenserThanIDs(m.FactRows, nm.TTRows) {
+			if bmF == nil {
+				if bmF, err = os.Create(filepath.Join(w.opts.Dir, BitmapFile)); err != nil {
+					return err
+				}
+				defer bmF.Close()
+			}
+			bm := bitmap.FromIDs(m.FactRows, ids)
+			data := bm.Marshal()
+			if _, err := bmF.WriteAt(data, bmOff); err != nil {
+				return err
+			}
+			nm.TTKind = TTBitmap
+			nm.TTOff = bmOff
+			nm.TTBmLen = int64(len(data))
+			bmOff += int64(len(data))
+			m.Nodes[k] = nm
+			continue
+		}
+		for i, id := range ids {
+			putInt64(buf[i*8:], id)
+		}
+		if _, err := ttF.WriteAt(buf, nm.TTOff); err != nil {
+			return err
+		}
+	}
+	// Bitmap-converted nodes leave dead extents inside tt.bin; rebuilding
+	// the file to reclaim them is a straightforward extension we skip —
+	// the size accounting below charges tt.bin as written, which is the
+	// conservative direction.
+	if w.catFormat == signature.FormatA {
+		if err := w.sortCATByARowid(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortCATByARowid sorts each node's format-(a) CAT extent so query-time
+// AGGREGATES accesses are sequential.
+func (w *Writer) sortCATByARowid(m *Manifest) error {
+	path := filepath.Join(w.opts.Dir, CATFile)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	width := m.catRowWidth()
+	for k, nm := range m.Nodes {
+		if nm.CATRows == 0 {
+			continue
+		}
+		buf := make([]byte, nm.CATRows*int64(width))
+		if _, err := f.ReadAt(buf, nm.CATOff); err != nil {
+			return fmt.Errorf("storage: reading CAT extent of node %s: %w", k, err)
+		}
+		rows := make([]int64, nm.CATRows)
+		for i := range rows {
+			rows[i] = getInt64(buf[i*width:])
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		for i, v := range rows {
+			putInt64(buf[i*width:], v)
+		}
+		if _, err := f.WriteAt(buf, nm.CATOff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileChecksum computes the CRC-32 (IEEE) of a whole file.
+func fileChecksum(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}

@@ -1,0 +1,422 @@
+package update
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cure/internal/core"
+	"cure/internal/hierarchy"
+	"cure/internal/query"
+	"cure/internal/relation"
+)
+
+func testHier(t testing.TB) *hierarchy.Schema {
+	t.Helper()
+	am1 := hierarchy.BuildContiguousMap(12, 4)
+	a, err := hierarchy.NewLinearDim("A", []string{"A0", "A1"}, []int32{12, 4}, [][]int32{am1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hierarchy.NewLinearDim("B", []string{"B0", "B1"}, []int32{8, 2}, [][]int32{hierarchy.BuildContiguousMap(8, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := hierarchy.NewSchema(a, b, hierarchy.NewFlatDim("C", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomRows(rng *rand.Rand, n int) *relation.FactTable {
+	schema := &relation.Schema{DimNames: []string{"A", "B", "C"}, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, n)
+	for i := 0; i < n; i++ {
+		ft.Append(
+			[]int32{int32(rng.Intn(12)), int32(rng.Intn(8)), int32(rng.Intn(3))},
+			[]float64{float64(rng.Intn(9))},
+		)
+	}
+	return ft
+}
+
+func specs() []relation.AggSpec {
+	return []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}}
+}
+
+// combine concatenates two tables.
+func combine(a, b *relation.FactTable) *relation.FactTable {
+	out := relation.NewFactTable(a.Schema, a.Len()+b.Len())
+	dims := make([]int32, a.Schema.NumDims())
+	meas := make([]float64, a.Schema.NumMeasures())
+	for _, t := range []*relation.FactTable{a, b} {
+		for r := 0; r < t.Len(); r++ {
+			dims = t.DimRow(r, dims)
+			meas = t.MeasureRow(r, meas)
+			out.Append(dims, meas)
+		}
+	}
+	return out
+}
+
+// cubesEqual compares two cube directories node by node (dims + aggrs).
+func cubesEqual(t *testing.T, gotDir, wantDir string) {
+	t.Helper()
+	got, err := query.OpenDefault(gotDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	want, err := query.OpenDefault(wantDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer want.Close()
+	if got.Enum().NumNodes() != want.Enum().NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", got.Enum().NumNodes(), want.Enum().NumNodes())
+	}
+	key := func(row query.Row) string {
+		var b strings.Builder
+		for _, d := range row.Dims {
+			fmt.Fprintf(&b, "%d|", d)
+		}
+		return b.String()
+	}
+	for _, id := range want.Enum().AllNodes() {
+		wantRows := map[string][]float64{}
+		if err := want.NodeQuery(id, func(row query.Row) error {
+			wantRows[key(row)] = append([]float64(nil), row.Aggrs...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		if err := got.NodeQuery(id, func(row query.Row) error {
+			w, ok := wantRows[key(row)]
+			if !ok {
+				return fmt.Errorf("unexpected tuple %v", row.Dims)
+			}
+			for i := range w {
+				if w[i] != row.Aggrs[i] {
+					return fmt.Errorf("tuple %v: aggrs %v, want %v", row.Dims, row.Aggrs, w)
+				}
+			}
+			count++
+			return nil
+		}); err != nil {
+			t.Fatalf("node %s: %v", want.Enum().Name(id), err)
+		}
+		if count != len(wantRows) {
+			t.Fatalf("node %s: %d tuples, want %d", want.Enum().Name(id), count, len(wantRows))
+		}
+	}
+}
+
+func TestApplyMatchesRebuild(t *testing.T) {
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(77))
+	base := randomRows(rng, 400)
+	delta := randomRows(rng, 80)
+
+	dir := t.TempDir()
+	oldDir := filepath.Join(dir, "old")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: oldDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	newDir := filepath.Join(dir, "new")
+	stats, err := Apply(Options{OldDir: oldDir, NewDir: newDir, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaRows != 80 || stats.Nodes == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Inserted == 0 || stats.Updated == 0 || stats.Carried == 0 {
+		t.Errorf("expected a mix of inserted/updated/carried tuples: %+v", stats)
+	}
+
+	// Ground truth: a from-scratch cube over base ∪ delta.
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(combine(base, delta), core.Options{Dir: refDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, newDir, refDir)
+}
+
+func TestApplyRepeatedBatches(t *testing.T) {
+	// Three consecutive delta batches must equal one big rebuild.
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(5))
+	base := randomRows(rng, 200)
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cube0")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: cur, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	all := base
+	for batch := 1; batch <= 3; batch++ {
+		delta := randomRows(rng, 50)
+		next := filepath.Join(dir, fmt.Sprintf("cube%d", batch))
+		if _, err := Apply(Options{OldDir: cur, NewDir: next, Delta: delta}); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		all = combine(all, delta)
+		cur = next
+	}
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(all, core.Options{Dir: refDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, cur, refDir)
+}
+
+func TestApplyTTTransitions(t *testing.T) {
+	// A crafted case: the base has a singleton (a TT) that the delta
+	// duplicates (TT → aggregated tuple) and the delta introduces a brand
+	// new singleton (a new TT).
+	hier := testHier(t)
+	schema := &relation.Schema{DimNames: []string{"A", "B", "C"}, MeasureNames: []string{"M"}}
+	base := relation.NewFactTable(schema, 3)
+	base.Append([]int32{0, 0, 0}, []float64{1})
+	base.Append([]int32{0, 0, 0}, []float64{2})
+	base.Append([]int32{5, 5, 1}, []float64{3}) // singleton → TT
+	delta := relation.NewFactTable(schema, 2)
+	delta.Append([]int32{5, 5, 1}, []float64{4})  // hits the TT
+	delta.Append([]int32{11, 7, 2}, []float64{5}) // new singleton
+
+	dir := t.TempDir()
+	oldDir := filepath.Join(dir, "old")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: oldDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	newDir := filepath.Join(dir, "new")
+	if _, err := Apply(Options{OldDir: oldDir, NewDir: newDir, Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(combine(base, delta), core.Options{Dir: refDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, newDir, refDir)
+
+	// The upgraded group must now report count 2 at the base node.
+	eng, err := query.OpenDefault(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	node := eng.Enum().Encode([]int{0, 0, 0})
+	found := false
+	if err := eng.NodeQuery(node, func(row query.Row) error {
+		if row.Dims[0] == 5 && row.Dims[1] == 5 && row.Dims[2] == 1 {
+			found = true
+			if row.Aggrs[1] != 2 || row.Aggrs[0] != 7 {
+				t.Errorf("upgraded TT aggrs = %v", row.Aggrs)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("upgraded TT missing from base node")
+	}
+}
+
+func TestApplyOnPlusCubeKeepsPlus(t *testing.T) {
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(9))
+	base := randomRows(rng, 150)
+	delta := randomRows(rng, 30)
+	dir := t.TempDir()
+	oldDir := filepath.Join(dir, "old")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: oldDir, Hier: hier, AggSpecs: specs(), Plus: true}); err != nil {
+		t.Fatal(err)
+	}
+	newDir := filepath.Join(dir, "new")
+	if _, err := Apply(Options{OldDir: oldDir, NewDir: newDir, Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.OpenDefault(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.Manifest().Plus {
+		t.Error("refreshed cube lost the Plus setting")
+	}
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(combine(base, delta), core.Options{Dir: refDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, newDir, refDir)
+}
+
+func TestApplyValidation(t *testing.T) {
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(2))
+	base := randomRows(rng, 60)
+	delta := randomRows(rng, 10)
+	dir := t.TempDir()
+
+	// DR cubes are rejected.
+	drDir := filepath.Join(dir, "dr")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: drDir, Hier: hier, AggSpecs: specs(), DimsInline: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(Options{OldDir: drDir, NewDir: filepath.Join(dir, "x1"), Delta: delta}); err == nil {
+		t.Error("DR cube accepted")
+	}
+
+	// Iceberg cubes are rejected.
+	iceDir := filepath.Join(dir, "ice")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: iceDir, Hier: hier, AggSpecs: specs(), Iceberg: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(Options{OldDir: iceDir, NewDir: filepath.Join(dir, "x2"), Delta: delta}); err == nil {
+		t.Error("iceberg cube accepted")
+	}
+
+	// Cubes without COUNT are rejected.
+	noCountDir := filepath.Join(dir, "nocount")
+	if _, err := core.BuildFromTable(base, core.Options{
+		Dir: noCountDir, Hier: hier,
+		AggSpecs: []relation.AggSpec{{Func: relation.AggSum, Measure: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(Options{OldDir: noCountDir, NewDir: filepath.Join(dir, "x3"), Delta: delta}); err == nil {
+		t.Error("cube without COUNT accepted")
+	}
+
+	okDir := filepath.Join(dir, "ok")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: okDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	empty := relation.NewFactTable(base.Schema, 0)
+	if _, err := Apply(Options{OldDir: okDir, NewDir: filepath.Join(dir, "x4"), Delta: empty}); err == nil {
+		t.Error("empty delta accepted")
+	}
+	if _, err := Apply(Options{OldDir: okDir, NewDir: okDir, Delta: delta}); err == nil {
+		t.Error("same old/new dir accepted")
+	}
+	tagged := relation.NewFactTable(base.Schema, 1)
+	tagged.AppendWithRowID([]int32{0, 0, 0}, []float64{1}, 5)
+	if _, err := Apply(Options{OldDir: okDir, NewDir: filepath.Join(dir, "x5"), Delta: tagged}); err == nil {
+		t.Error("row-id-tagged delta accepted")
+	}
+}
+
+func TestOldCubeStillQueryableAfterApply(t *testing.T) {
+	// The fact file grows, but the old cube's manifest pins its row
+	// count, so its queries keep returning the pre-delta state.
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(13))
+	base := randomRows(rng, 120)
+	delta := randomRows(rng, 40)
+	dir := t.TempDir()
+	oldDir := filepath.Join(dir, "old")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: oldDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.OpenDefault(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := eng.Enum().RootID()
+	var beforeSum float64
+	if err := eng.NodeQuery(root, func(row query.Row) error {
+		beforeSum = row.Aggrs[0]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if _, err := Apply(Options{OldDir: oldDir, NewDir: filepath.Join(dir, "new"), Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := query.OpenDefault(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	var afterSum float64
+	if err := eng2.NodeQuery(root, func(row query.Row) error {
+		afterSum = row.Aggrs[0]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if beforeSum != afterSum {
+		t.Errorf("old cube changed after append: %v vs %v", beforeSum, afterSum)
+	}
+}
+
+func TestApplyOnPartitionedCube(t *testing.T) {
+	// The old cube was built out-of-core (TT sharing bounded at the
+	// partition level); the merge must read it correctly and produce a
+	// consistent refreshed cube.
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(41))
+	base := randomRows(rng, 600)
+	delta := randomRows(rng, 100)
+	dir := t.TempDir()
+	factPath := filepath.Join(dir, "fact.bin")
+	if err := relation.WriteFactFile(factPath, base); err != nil {
+		t.Fatal(err)
+	}
+	oldDir := filepath.Join(dir, "old")
+	stats, err := core.Build(core.Options{
+		Dir:          oldDir,
+		FactPath:     factPath,
+		Hier:         hier,
+		AggSpecs:     specs(),
+		MemoryBudget: 12_000, // forces partitioning (600 rows × 28 B)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Partitioned {
+		t.Fatal("setup expected a partitioned build")
+	}
+	newDir := filepath.Join(dir, "new")
+	if _, err := Apply(Options{OldDir: oldDir, NewDir: newDir, Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(combine(base, delta), core.Options{Dir: refDir, Hier: hier, AggSpecs: specs()}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, newDir, refDir)
+}
+
+func TestApplyMinMaxAggregates(t *testing.T) {
+	// MIN/MAX must merge correctly (fold semantics differ from SUM).
+	hier := testHier(t)
+	rng := rand.New(rand.NewSource(14))
+	base := randomRows(rng, 150)
+	delta := randomRows(rng, 60)
+	allSpecs := []relation.AggSpec{
+		{Func: relation.AggSum, Measure: 0},
+		{Func: relation.AggCount},
+		{Func: relation.AggMin, Measure: 0},
+		{Func: relation.AggMax, Measure: 0},
+	}
+	dir := t.TempDir()
+	oldDir := filepath.Join(dir, "old")
+	if _, err := core.BuildFromTable(base, core.Options{Dir: oldDir, Hier: hier, AggSpecs: allSpecs}); err != nil {
+		t.Fatal(err)
+	}
+	newDir := filepath.Join(dir, "new")
+	if _, err := Apply(Options{OldDir: oldDir, NewDir: newDir, Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	refDir := filepath.Join(dir, "ref")
+	if _, err := core.BuildFromTable(combine(base, delta), core.Options{Dir: refDir, Hier: hier, AggSpecs: allSpecs}); err != nil {
+		t.Fatal(err)
+	}
+	cubesEqual(t, newDir, refDir)
+}
