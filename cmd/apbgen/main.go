@@ -17,6 +17,7 @@ import (
 
 	"cure/internal/gen"
 	"cure/internal/hierarchy"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 )
 
@@ -46,9 +47,13 @@ func main() {
 		zipf    = flag.Float64("zipf", 0.8, "synthetic: zipf skew factor")
 		seed    = flag.Int64("seed", 1, "random seed")
 	)
+	obs := obsv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		fatalf("missing -out")
+	}
+	if err := obs.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
 	}
 
 	var (
@@ -103,7 +108,16 @@ func main() {
 	if err := os.WriteFile(hierPath, data, 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("wrote %s (%d tuples) and %s\n", *out, rows, hierPath)
+	if reg := obs.Registry(); reg != nil {
+		reg.Counter("gen.rows").Add(rows)
+		if fi, err := os.Stat(*out); err == nil {
+			reg.Counter("gen.bytes_written").Add(fi.Size())
+		}
+	}
+	if err := obs.Finish(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d tuples) and %s\n", *out, rows, hierPath)
 }
 
 func fatalf(format string, args ...any) {

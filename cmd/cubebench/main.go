@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cure/internal/bench"
+	"cure/internal/obsv"
 )
 
 func main() {
@@ -29,8 +30,9 @@ func main() {
 		maxDims   = flag.Int("maxdims", 0, "upper end of the dimensionality sweep (default 16; paper: 28)")
 		workDir   = flag.String("workdir", "", "scratch directory (default: a temp dir, removed on exit)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
-		format    = flag.String("format", "text", "output format: text | md")
+		format    = flag.String("format", "text", "output format: text | md | json")
 	)
+	obs := obsv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -40,6 +42,7 @@ func main() {
 		Seed:         *seed,
 		MaxDims:      *maxDims,
 		WorkDir:      *workDir,
+		Metrics:      obs.Registry(),
 	}
 	if *densities != "" {
 		for _, part := range strings.Split(*densities, ",") {
@@ -62,11 +65,23 @@ func main() {
 		}
 		return
 	}
-	render := func(r *bench.Result) string {
-		if *format == "md" {
-			return r.Markdown()
+	if err := obs.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := obs.Finish(); err != nil {
+			fatalf("%v", err)
 		}
-		return r.String()
+	}()
+	render := func(r *bench.Result) string {
+		switch *format {
+		case "md":
+			return r.Markdown()
+		case "json":
+			return r.JSON()
+		default:
+			return r.String()
+		}
 	}
 	if *exp == "all" {
 		// Stream each result as its group completes; the whole suite can

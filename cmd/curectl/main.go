@@ -24,11 +24,19 @@ import (
 	"cure/internal/csvload"
 	"cure/internal/estimate"
 	"cure/internal/hierarchy"
+	"cure/internal/obsv"
 	"cure/internal/query"
 	"cure/internal/relation"
 	"cure/internal/storage"
 	"cure/internal/update"
 )
+
+// diag writes a human-readable diagnostic line to stderr. All status and
+// summary output goes through it so stdout carries only machine-readable
+// data (query rows, listings, -metrics-out '-' JSON).
+func diag(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -186,6 +194,7 @@ func cmdBuild(args []string) {
 	dr := fs.Bool("dr", false, "CURE_DR: store NT dimension values inline")
 	flat := fs.Bool("flat", false, "FCURE: flat cube at base levels only")
 	iceberg := fs.Int64("iceberg", 0, "min-count threshold (iceberg cube)")
+	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
 	if *fact == "" || *hierPath == "" || *out == "" {
 		fatalf("build needs -fact, -hier and -out")
@@ -196,6 +205,9 @@ func cmdBuild(args []string) {
 	}
 	numMeasures := fr.Schema().NumMeasures()
 	fr.Close()
+	if err := obs.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
 	stats, err := core.Build(core.Options{
 		Dir:          *out,
 		FactPath:     *fact,
@@ -207,7 +219,11 @@ func cmdBuild(args []string) {
 		DimsInline:   *dr,
 		Flat:         *flat,
 		Iceberg:      *iceberg,
+		Metrics:      obs.Registry(),
 	})
+	if ferr := obs.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -216,12 +232,12 @@ func cmdBuild(args []string) {
 		mode = fmt.Sprintf("partitioned (L=%d, %d partitions, |N|=%d rows)",
 			stats.PartitionLevel, stats.NumPartitions, stats.NRows)
 	}
-	fmt.Printf("built cube in %v (%s)\n", stats.Elapsed, mode)
-	fmt.Printf(" nodes materialized: %d (%d relations)\n", stats.NodesMaterialized, stats.Relations)
-	fmt.Printf(" trivial tuples:     %d\n", stats.TTs)
-	fmt.Printf(" signatures:         %d (NTs %d, CAT groups %d, format %v)\n",
+	diag("built cube in %v (%s)\n", stats.Elapsed, mode)
+	diag(" nodes materialized: %d (%d relations)\n", stats.NodesMaterialized, stats.Relations)
+	diag(" trivial tuples:     %d\n", stats.TTs)
+	diag(" signatures:         %d (NTs %d, CAT groups %d, format %v)\n",
 		stats.Pool.Total, stats.Pool.NTs, stats.Pool.CatGroups, stats.CatFormat)
-	fmt.Printf(" cube size:          %d bytes (NT %d, TT %d, CAT %d, AGG %d, bitmap %d)\n",
+	diag(" cube size:          %d bytes (NT %d, TT %d, CAT %d, AGG %d, bitmap %d)\n",
 		stats.Sizes.Total(), stats.Sizes.NT, stats.Sizes.TT, stats.Sizes.CAT, stats.Sizes.Agg, stats.Sizes.Bitmap)
 }
 
@@ -326,15 +342,25 @@ func cmdQuery(args []string, iceberg bool) {
 	limit := fs.Int("limit", 20, "max rows to print (0 = all)")
 	minCount := fs.Float64("min", 1, "iceberg: HAVING count(*) > min")
 	dictPath := fs.String("dict", "", "dictionary JSON from 'curectl import' to decode base-level codes")
+	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
-	eng := openEngine(fs, cube)
+	if *cube == "" {
+		fatalf("missing -cube")
+	}
+	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry()})
+	if err != nil {
+		fatalf("%v", err)
+	}
 	defer eng.Close()
 	if *levelsFlag == "" {
 		fatalf("missing -levels")
 	}
 	levels := parseLevels(eng, *levelsFlag)
 	id := eng.Enum().Encode(levels)
-	fmt.Printf("node %d (%s)\n", id, eng.Enum().Name(id))
+	if err := obs.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
+	diag("node %d (%s)\n", id, eng.Enum().Name(id))
 
 	// Optional dictionary decoding: base-level codes print as their
 	// original strings (coarser levels have no dictionary entries unless
@@ -379,7 +405,6 @@ func cmdQuery(args []string, iceberg bool) {
 		}
 		return nil
 	}
-	var err error
 	if iceberg {
 		countIdx := -1
 		for i, s := range eng.Manifest().AggSpecs {
@@ -395,13 +420,16 @@ func cmdQuery(args []string, iceberg bool) {
 	} else {
 		err = eng.NodeQuery(id, emit)
 	}
+	if ferr := obs.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if printed < total {
-		fmt.Printf(" … and %d more rows\n", total-printed)
+		diag(" … and %d more rows\n", total-printed)
 	}
-	fmt.Printf("%d rows\n", total)
+	diag("%d rows\n", total)
 }
 
 // cmdImport loads a CSV file into the binary fact format, writing the
@@ -453,9 +481,9 @@ func cmdImport(args []string) {
 	if err := os.WriteFile(*out+".hier.json", data, 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("imported %d rows into %s (+ .dict.json, .hier.json)\n", ft.Len(), *out)
+	diag("imported %d rows into %s (+ .dict.json, .hier.json)\n", ft.Len(), *out)
 	for _, d := range dict.Dims {
-		fmt.Printf(" %-20s %6d distinct values\n", d.Name, d.Card())
+		diag(" %-20s %6d distinct values\n", d.Name, d.Card())
 	}
 }
 
@@ -478,10 +506,10 @@ func cmdUpdate(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("merged %d delta rows across %d nodes in %v\n", stats.DeltaRows, stats.Nodes, stats.Elapsed)
-	fmt.Printf(" inserted %d, updated %d, carried %d tuples (%d TTs)\n",
+	diag("merged %d delta rows across %d nodes in %v\n", stats.DeltaRows, stats.Nodes, stats.Elapsed)
+	diag(" inserted %d, updated %d, carried %d tuples (%d TTs)\n",
 		stats.Inserted, stats.Updated, stats.Carried, stats.TTs)
-	fmt.Printf(" refreshed cube size: %d bytes\n", stats.Sizes.Total())
+	diag(" refreshed cube size: %d bytes\n", stats.Sizes.Total())
 }
 
 // cmdVerify recomputes sampled nodes from the fact table and compares
@@ -504,10 +532,10 @@ func cmdVerify(args []string) {
 			fatalf("%v", err)
 		}
 		if len(bad) > 0 {
-			fmt.Printf("CORRUPTED files: %v\n", bad)
+			diag("CORRUPTED files: %v\n", bad)
 			os.Exit(1)
 		}
-		fmt.Println("file checksums OK")
+		diag("file checksums OK\n")
 	}
 	eng := openEngine(fs, cube)
 	defer eng.Close()
@@ -515,13 +543,13 @@ func cmdVerify(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("verified %d nodes, %d tuples\n", rep.NodesChecked, rep.TuplesChecked)
+	diag("verified %d nodes, %d tuples\n", rep.NodesChecked, rep.TuplesChecked)
 	if rep.OK() {
-		fmt.Println("cube is consistent with its fact table")
+		diag("cube is consistent with its fact table\n")
 		return
 	}
 	for _, e := range rep.Errors {
-		fmt.Println(" MISMATCH:", e)
+		diag(" MISMATCH: %v\n", e)
 	}
 	os.Exit(1)
 }
@@ -560,13 +588,13 @@ func cmdDiff(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("compared %d nodes (%d vs %d tuples)\n", rep.NodesCompared, rep.TuplesA, rep.TuplesB)
+	diag("compared %d nodes (%d vs %d tuples)\n", rep.NodesCompared, rep.TuplesA, rep.TuplesB)
 	if rep.Equal() {
-		fmt.Println("cubes are query-equivalent")
+		diag("cubes are query-equivalent\n")
 		return
 	}
 	for _, d := range rep.Differences {
-		fmt.Println(" DIFF:", d)
+		diag(" DIFF: %v\n", d)
 	}
 	os.Exit(1)
 }

@@ -32,8 +32,11 @@
 package cure
 
 import (
+	"io"
+
 	"cure/internal/core"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/query"
 	"cure/internal/relation"
 )
@@ -56,6 +59,13 @@ type (
 	NodeID = lattice.NodeID
 	// QueryOptions configures cache behaviour of a query engine.
 	QueryOptions = query.Options
+	// Registry collects counters, gauges, histograms, and phase spans
+	// when attached to BuildOptions.Metrics or QueryOptions.Metrics.
+	Registry = obsv.Registry
+	// MetricsSnapshot is a point-in-time copy of a Registry's contents.
+	MetricsSnapshot = obsv.Snapshot
+	// TraceWriter streams JSONL plan-traversal events during a build.
+	TraceWriter = obsv.TraceWriter
 )
 
 // Aggregate functions.
@@ -82,3 +92,11 @@ func OpenCube(dir string) (*Engine, error) { return query.OpenDefault(dir) }
 
 // OpenCubeWith opens a cube with explicit cache settings.
 func OpenCubeWith(dir string, opts QueryOptions) (*Engine, error) { return query.Open(dir, opts) }
+
+// NewMetrics creates an observability registry to attach to
+// BuildOptions.Metrics or QueryOptions.Metrics.
+func NewMetrics() *Registry { return obsv.NewRegistry() }
+
+// NewTrace creates a JSONL trace sink; attach it to a registry with
+// Registry.SetTrace to stream plan-traversal events during builds.
+func NewTrace(w io.Writer) *TraceWriter { return obsv.NewTraceWriter(w) }

@@ -10,6 +10,7 @@ import (
 	"cure/internal/core"
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/query"
 	"cure/internal/relation"
 )
@@ -49,13 +50,18 @@ func (q cureQuerier) Query(id lattice.NodeID, fn func([]int32, []float64) error)
 func (q cureQuerier) Close() error { return q.e.Close() }
 
 // buildCURE writes the table to disk (once per dir) and runs a CURE
-// variant over it.
-func buildCURE(dir string, ft *relation.FactTable, hier *hierarchy.Schema, mod func(*core.Options)) (*core.BuildStats, error) {
-	opts := core.Options{Dir: dir, Hier: hier, AggSpecs: stdSpecs()}
+// variant over it, recording per-phase wall times into the harness
+// registry (they surface as the Phases of the group's results).
+func (h *Harness) buildCURE(dir string, ft *relation.FactTable, hier *hierarchy.Schema, mod func(*core.Options)) (*core.BuildStats, error) {
+	opts := core.Options{Dir: dir, Hier: hier, AggSpecs: stdSpecs(), Metrics: h.reg}
 	if mod != nil {
 		mod(&opts)
 	}
-	return core.BuildFromTable(ft, opts)
+	stats, err := core.BuildFromTable(ft, opts)
+	for path, sec := range obsv.PhaseTotals(h.reg.TakeSpans()) {
+		h.phases[path] += sec
+	}
+	return stats, err
 }
 
 // timeWorkload measures the average per-query wall time of a node-query

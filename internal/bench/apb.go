@@ -10,6 +10,7 @@ import (
 	"cure/internal/core"
 	"cure/internal/gen"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/query"
 )
 
@@ -40,9 +41,13 @@ func (h *Harness) buildAPBVariant(density float64, label string, mod func(*core.
 		Hier:         gen.APBSchema(),
 		AggSpecs:     stdSpecs(),
 		MemoryBudget: h.cfg.MemoryBudget,
+		Metrics:      h.reg,
 	}
 	mod(&opts)
 	stats, err := core.Build(opts)
+	for path, sec := range obsv.PhaseTotals(h.reg.TakeSpans()) {
+		h.phases[path] += sec
+	}
 	return stats, dir, err
 }
 

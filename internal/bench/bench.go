@@ -9,10 +9,13 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+
+	"cure/internal/obsv"
 )
 
 // Config controls experiment scale.
@@ -37,6 +40,11 @@ type Config struct {
 	// (paper: 28). BUC is always stopped at 12 — without trivial-tuple
 	// pruning its complete-cube output grows as 2^D.
 	MaxDims int
+	// Metrics, when set, is the registry the harness instruments its
+	// builds with (so a caller can dump cumulative counters afterwards);
+	// by default the harness creates a private one. Either way the
+	// per-phase wall times surface in each Result's Phases.
+	Metrics *obsv.Registry
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -53,11 +61,24 @@ func DefaultConfig() Config {
 
 // Result is one regenerated table or figure.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Phases holds the per-phase wall times (seconds, summed over every
+	// build the experiment group ran), keyed by span path, e.g.
+	// "build/cube" or "build/partition.split".
+	Phases map[string]float64 `json:"phases,omitempty"`
+}
+
+// JSON renders the result as an indented JSON object.
+func (r *Result) JSON() string {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"id":%q,"error":%q}`, r.ID, err.Error())
+	}
+	return string(data)
 }
 
 // AddRow appends a formatted row.
@@ -110,6 +131,10 @@ type Harness struct {
 	cfg     Config
 	tempDir string
 	cache   map[string]map[string]*Result // group → id → result
+	// reg instruments every build the harness runs; phases accumulates
+	// the span totals of the current experiment group.
+	reg    *obsv.Registry
+	phases map[string]float64
 }
 
 // New creates a harness; zero-value Config fields fall back to defaults.
@@ -133,7 +158,16 @@ func New(cfg Config) (*Harness, error) {
 	if cfg.MaxDims <= 0 {
 		cfg.MaxDims = def.MaxDims
 	}
-	h := &Harness{cfg: cfg, cache: map[string]map[string]*Result{}}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	h := &Harness{
+		cfg:    cfg,
+		cache:  map[string]map[string]*Result{},
+		reg:    reg,
+		phases: map[string]float64{},
+	}
 	if cfg.WorkDir == "" {
 		dir, err := os.MkdirTemp("", "curebench")
 		if err != nil {
@@ -208,9 +242,17 @@ func (h *Harness) Run(id string) (*Result, error) {
 			return res, nil
 		}
 	}
+	h.phases = map[string]float64{}
 	results, err := exp.run(h)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", id, err)
+	}
+	if len(h.phases) > 0 {
+		// The group's builds share one phase breakdown; attach it to every
+		// result the group produced.
+		for _, res := range results {
+			res.Phases = h.phases
+		}
 	}
 	h.cache[exp.group] = results
 	res, ok := results[id]

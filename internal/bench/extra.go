@@ -73,7 +73,7 @@ func (h *Harness) runIceberg() (map[string]*Result, error) {
 	if _, err := bubst.Build(ft, hier, stdSpecs(), bubst.Options{Dir: filepath.Join(dir, "bubst")}); err != nil {
 		return nil, err
 	}
-	if _, err := buildCURE(filepath.Join(dir, "cure"), ft, hier, nil); err != nil {
+	if _, err := h.buildCURE(filepath.Join(dir, "cure"), ft, hier, nil); err != nil {
 		return nil, err
 	}
 	enum := lattice.NewEnum(hier)
@@ -143,11 +143,11 @@ func (h *Harness) runSortAblation() (map[string]*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cs, err := buildCURE(filepath.Join(h.cfg.WorkDir, fmt.Sprintf("abl_cnt_%.0f", z)), ft, hier, nil)
+		cs, err := h.buildCURE(filepath.Join(h.cfg.WorkDir, fmt.Sprintf("abl_cnt_%.0f", z)), ft, hier, nil)
 		if err != nil {
 			return nil, err
 		}
-		qs, err := buildCURE(filepath.Join(h.cfg.WorkDir, fmt.Sprintf("abl_qck_%.0f", z)), ft, hier,
+		qs, err := h.buildCURE(filepath.Join(h.cfg.WorkDir, fmt.Sprintf("abl_qck_%.0f", z)), ft, hier,
 			func(o *core.Options) { o.ForceQuickSort = true })
 		if err != nil {
 			return nil, err
@@ -170,7 +170,7 @@ func (h *Harness) runPlanAblation() (map[string]*Result, error) {
 		Header: []string{"strategy", "runs", "total time"},
 		Notes:  []string{fmt.Sprintf("APB-1 density %g (%s tuples)", density, fmtCount(int64(ft.Len())))}}
 
-	stats, err := buildCURE(filepath.Join(h.cfg.WorkDir, "plan_cure"), ft, hier, nil)
+	stats, err := h.buildCURE(filepath.Join(h.cfg.WorkDir, "plan_cure"), ft, hier, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -252,12 +252,12 @@ func (h *Harness) runHeightAblation() (map[string]*Result, error) {
 	res := &Result{ID: "ablation-height", Title: "Hierarchical plan height: tallest (P3) vs shortest (P2)",
 		Header: []string{"plan", "construction", "cube size"},
 		Notes:  []string{fmt.Sprintf("APB-1 density %g (%s tuples); identical cubes, different traversals", density, fmtCount(int64(ft.Len())))}}
-	tall, err := buildCURE(filepath.Join(h.cfg.WorkDir, "height_p3"), ft, hier, nil)
+	tall, err := h.buildCURE(filepath.Join(h.cfg.WorkDir, "height_p3"), ft, hier, nil)
 	if err != nil {
 		return nil, err
 	}
 	res.AddRow("P3 (tallest, CURE)", fmtDur(tall.Elapsed.Seconds()), fmtBytes(tall.Sizes.Total()))
-	short, err := buildCURE(filepath.Join(h.cfg.WorkDir, "height_p2"), ft, hier, func(o *core.Options) { o.ShortPlan = true })
+	short, err := h.buildCURE(filepath.Join(h.cfg.WorkDir, "height_p2"), ft, hier, func(o *core.Options) { o.ShortPlan = true })
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +301,7 @@ func (h *Harness) runUpdate() (map[string]*Result, error) {
 		}
 		delta := newDelta(n)
 		oldDir := filepath.Join(h.cfg.WorkDir, fmt.Sprintf("upd_base_%g", frac))
-		if _, err := buildCURE(oldDir, base, hier, nil); err != nil {
+		if _, err := h.buildCURE(oldDir, base, hier, nil); err != nil {
 			return nil, err
 		}
 		newDir := filepath.Join(h.cfg.WorkDir, fmt.Sprintf("upd_new_%g", frac))
@@ -321,7 +321,7 @@ func (h *Harness) runUpdate() (map[string]*Result, error) {
 			}
 		}
 		refDir := filepath.Join(h.cfg.WorkDir, fmt.Sprintf("upd_ref_%g", frac))
-		rs, err := buildCURE(refDir, combined, hier, nil)
+		rs, err := h.buildCURE(refDir, combined, hier, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -64,7 +64,7 @@ func (h *Harness) runFlatHier() (map[string]*Result, error) {
 		{"CURE+", "cureplus", func(o *core.Options) { o.Plus = true }},
 	}
 	for _, cb := range cureBuilds {
-		stats, err := buildCURE(filepath.Join(dir, cb.sub), ft, hier, cb.mod)
+		stats, err := h.buildCURE(filepath.Join(dir, cb.sub), ft, hier, cb.mod)
 		if err != nil {
 			return nil, err
 		}

@@ -69,11 +69,11 @@ func (h *Harness) runReal() (map[string]*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cureStats, err := buildCURE(filepath.Join(dir, "cure"), ds.ft, ds.hier, nil)
+		cureStats, err := h.buildCURE(filepath.Join(dir, "cure"), ds.ft, ds.hier, nil)
 		if err != nil {
 			return nil, err
 		}
-		curePlusStats, err := buildCURE(filepath.Join(dir, "cureplus"), ds.ft, ds.hier, func(o *core.Options) { o.Plus = true })
+		curePlusStats, err := h.buildCURE(filepath.Join(dir, "cureplus"), ds.ft, ds.hier, func(o *core.Options) { o.Plus = true })
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +165,7 @@ func (h *Harness) runPool() (map[string]*Result, error) {
 		cells := []string{ds.name}
 		for ci, cap := range caps {
 			dir := filepath.Join(h.cfg.WorkDir, fmt.Sprintf("pool%d_%d", di, ci))
-			stats, err := buildCURE(dir, ds.ft, ds.hier, func(o *core.Options) { o.PoolCapacity = cap })
+			stats, err := h.buildCURE(dir, ds.ft, ds.hier, func(o *core.Options) { o.PoolCapacity = cap })
 			if err != nil {
 				return nil, err
 			}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cure/internal/hierarchy"
+	"cure/internal/obsv"
 	"cure/internal/partition"
 	"cure/internal/relation"
 	"cure/internal/signature"
@@ -77,6 +78,12 @@ type Options struct {
 	// KeepPartitions leaves partition files on disk after the build
 	// (for inspection); by default they are removed.
 	KeepPartitions bool
+	// Metrics is the optional observability registry: when set, the
+	// build records phase spans, sort/prune counters, partition I/O
+	// bytes, pool occupancy, and per-relation write volumes into it, and
+	// streams plan-traversal events to any attached trace sink. nil (the
+	// default) disables all instrumentation at zero overhead.
+	Metrics *obsv.Registry
 }
 
 // NoPool is the PoolCapacity sentinel for a zero-length signature pool
@@ -121,6 +128,11 @@ func Build(opts Options) (*BuildStats, error) {
 	if err := validate(&opts); err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	root := reg.StartSpan("build")
+	defer root.End() // ends early on success; ending twice is a no-op
+
+	loadSpan := root.Child("load")
 	fr, err := relation.OpenFactReader(opts.FactPath)
 	if err != nil {
 		return nil, err
@@ -145,6 +157,8 @@ func Build(opts Options) (*BuildStats, error) {
 		if table, err = relation.ReadFactFile(opts.FactPath); err != nil {
 			return nil, err
 		}
+		loadSpan.AddRowsIn(rows)
+		loadSpan.AddBytesRead(rBytes)
 		resolver = func(rrowid int64, dst []int32) error {
 			for d := range dst {
 				dst[d] = table.Dims[d][rrowid]
@@ -158,6 +172,7 @@ func Build(opts Options) (*BuildStats, error) {
 		// random read per tuple.
 		resolver = newPagedResolver(fr)
 	}
+	loadSpan.End()
 
 	if opts.ShortPlan && !inMemory {
 		return nil, errors.New("core: ShortPlan (P2 ablation) supports in-memory builds only")
@@ -173,6 +188,7 @@ func Build(opts Options) (*BuildStats, error) {
 		ShortPlan:  opts.ShortPlan,
 		Resolver:   resolver,
 		Iceberg:    opts.Iceberg,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return nil, err
@@ -199,25 +215,30 @@ func Build(opts Options) (*BuildStats, error) {
 		return nil, err
 	}
 	pool.ForceFormat = opts.ForceFormat
+	pool.Metrics = reg
 
 	stats := &BuildStats{PartitionLevel: -1}
 	if inMemory {
-		err = buildInMemory(table, effHier, opts, pool, w, stats)
+		err = buildInMemory(table, effHier, opts, pool, w, stats, root)
 	} else {
-		err = buildPartitioned(opts, effHier, rBytes, pool, w, stats)
+		err = buildPartitioned(opts, effHier, rBytes, pool, w, stats, root)
 	}
 	if err != nil {
 		w.Abort()
 		return nil, err
 	}
+	flushSpan := root.Child("pool.flush")
 	if err := pool.Flush(); err != nil {
 		w.Abort()
 		return nil, err
 	}
+	flushSpan.End()
+	finSpan := root.Child("finalize")
 	m, err := w.Finalize(pool.Format())
 	if err != nil {
 		return nil, err
 	}
+	finSpan.End()
 	stats.Pool = pool.Stats()
 	stats.CatFormat = m.CatFormat
 	stats.Sizes = m.Sizes
@@ -233,6 +254,7 @@ func Build(opts Options) (*BuildStats, error) {
 			stats.Relations++
 		}
 	}
+	root.End()
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
@@ -291,32 +313,51 @@ func factRef(dir, factPath string) string {
 	return absFact
 }
 
-func buildInMemory(table *relation.FactTable, hier *hierarchy.Schema, opts Options, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
-	ex := newExecutor(table, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+func buildInMemory(table *relation.FactTable, hier *hierarchy.Schema, opts Options, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+	span := root.Child("cube")
+	span.AddRowsIn(int64(table.Len()))
+	defer span.End()
+	ex := newExecutor(table, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, opts.Metrics)
 	ex.shortPlan = opts.ShortPlan
 	return ex.run(stats)
 }
 
-func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+// partitionReadBytes charges the phase-1 re-read of a partition file to
+// the 2-reads-1-write accounting (§4): the split pass already counted
+// one read of R and one write of the partitions.
+func partitionReadBytes(reg *obsv.Registry, path string) {
+	if reg == nil {
+		return
+	}
+	if fi, err := os.Stat(path); err == nil {
+		reg.Counter("partition.bytes_read").Add(fi.Size())
+	}
+}
+
+func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+	reg := opts.Metrics
 	// Memory split: half the budget for a loaded partition, a quarter
 	// for node N (the signature pool and sort scratch take the rest).
 	partBudget := opts.MemoryBudget / 2
 	nBudget := opts.MemoryBudget / 4
-	choice, err := partition.SelectLevel(hier.Dims[0], rBytes, partBudget, nBudget)
+	choice, err := partition.SelectLevelObs(hier.Dims[0], rBytes, partBudget, nBudget, reg)
 	if err != nil {
 		// §4's omitted extension: fall back to partitioning on a pair of
 		// dimensions when no single level of dimension 0 is feasible.
 		if hier.NumDims() >= 2 {
 			if pairChoice, perr := partition.SelectLevelPair(hier.Dims[0], hier.Dims[1], rBytes, partBudget, nBudget); perr == nil {
-				return buildPartitionedPair(opts, hier, pairChoice, pool, w, stats)
+				return buildPartitionedPair(opts, hier, pairChoice, pool, w, stats, root)
 			}
 		}
 		return err
 	}
-	res, err := partition.Partition(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
+	splitSpan := root.Child("partition.split")
+	splitSpan.AddBytesRead(rBytes)
+	res, err := partition.PartitionObs(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice, reg)
 	if err != nil {
 		return err
 	}
+	splitSpan.End()
 	if !opts.KeepPartitions {
 		defer os.RemoveAll(opts.TempDir)
 	}
@@ -332,8 +373,9 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 	// Partitions are disjoint and sound, so with Parallelism > 1 they
 	// are cubed by concurrent workers, each with its own signature pool
 	// (the writer serializes the actual appends).
+	cubeSpan := root.Child("partition.cube")
 	if opts.Parallelism > 1 {
-		if err := runPartitionsParallel(res.PartitionPaths, L, hier, opts, pool, w, stats); err != nil {
+		if err := runPartitionsParallel(res.PartitionPaths, L, hier, opts, pool, w, stats, cubeSpan); err != nil {
 			return err
 		}
 	} else {
@@ -342,20 +384,28 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 			if err != nil {
 				return err
 			}
+			partitionReadBytes(reg, pp)
 			if pt.Len() == 0 {
 				continue
 			}
-			ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+			ps := cubeSpan.Child("part")
+			ps.AddRowsIn(int64(pt.Len()))
+			ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 			if err := ex.runPartition(L, stats); err != nil {
 				return err
 			}
+			ps.End()
 		}
 	}
+	cubeSpan.End()
 
 	// Phase 2: all remaining nodes from N (lines 17–20: start dimension
 	// 0 at its top level, never descend below L+1).
 	if res.N.Len() > 0 {
-		ex := newExecutor(res.N, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		nSpan := root.Child("n.cube")
+		nSpan.AddRowsIn(int64(res.N.Len()))
+		defer nSpan.End()
+		ex := newExecutor(res.N, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		ex.baseLevel[0] = L + 1
 		return ex.run(stats)
 	}
@@ -366,8 +416,9 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 // Each worker owns a signature pool (flushed when its partition is done)
 // so classification needs no cross-worker coordination; the shared writer
 // is armed for locking. Trivial-tuple counts merge into stats at the end.
-func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, opts Options, mainPool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, opts Options, mainPool *signature.Pool, w *storage.Writer, stats *BuildStats, cubeSpan *obsv.Span) error {
 	w.Lock()
+	reg := opts.Metrics
 	workers := opts.Parallelism
 	if workers > len(paths) {
 		workers = len(paths)
@@ -406,6 +457,7 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 					results <- result{tts, err}
 					return
 				}
+				partitionReadBytes(reg, pp)
 				if pt.Len() == 0 {
 					continue
 				}
@@ -415,7 +467,10 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 					return
 				}
 				pool.ForceFormat = opts.ForceFormat
-				ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+				pool.Metrics = reg
+				ps := cubeSpan.Child("part")
+				ps.AddRowsIn(int64(pt.Len()))
+				ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 				var local BuildStats
 				if err := ex.runPartition(level, &local); err != nil {
 					results <- result{tts, err}
@@ -425,6 +480,7 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 					results <- result{tts, err}
 					return
 				}
+				ps.End()
 				tts += local.TTs
 			}
 			results <- result{tts, nil}
@@ -454,11 +510,14 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 // {A_L, B_M} cover the nodes with both dimensions at fine levels; the
 // in-memory node N1 covers dimension 0 above L; N2 covers the remaining
 // nodes (dimension 0 fine, dimension 1 above M).
-func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, pool *signature.Pool, w *storage.Writer, stats *BuildStats) error {
+func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+	reg := opts.Metrics
+	splitSpan := root.Child("partition.split")
 	res, err := partition.PartitionPair(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
 	if err != nil {
 		return err
 	}
+	splitSpan.End()
 	if !opts.KeepPartitions {
 		defer os.RemoveAll(opts.TempDir)
 	}
@@ -471,24 +530,33 @@ func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition
 
 	// Phase 1: each partition covers the subtrees rooted at {A_i, B_M}
 	// for every i ∈ [0, L].
+	cubeSpan := root.Child("partition.cube")
 	for _, pp := range res.PartitionPaths {
 		pt, err := relation.ReadFactFile(pp)
 		if err != nil {
 			return err
 		}
+		partitionReadBytes(reg, pp)
 		if pt.Len() == 0 {
 			continue
 		}
-		ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		ps := cubeSpan.Child("part")
+		ps.AddRowsIn(int64(pt.Len()))
+		ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		for la := 0; la <= L; la++ {
 			if err := ex.runPartitionPair(la, M, stats); err != nil {
 				return err
 			}
 		}
+		ps.End()
 	}
+	cubeSpan.End()
 	// Phase 2: N1 yields every node with dimension 0 above L (or ALL).
+	nSpan := root.Child("n.cube")
+	defer nSpan.End()
 	if res.N1.Len() > 0 {
-		ex := newExecutor(res.N1, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		nSpan.AddRowsIn(int64(res.N1.Len()))
+		ex := newExecutor(res.N1, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		ex.baseLevel[0] = L + 1
 		if err := ex.run(stats); err != nil {
 			return err
@@ -497,7 +565,8 @@ func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition
 	// Phase 3: N2 yields the nodes with dimension 0 at levels ≤ L and
 	// dimension 1 above M (or ALL), one root {A_i} per level.
 	if res.N2.Len() > 0 {
-		ex := newExecutor(res.N2, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort)
+		nSpan.AddRowsIn(int64(res.N2.Len()))
+		ex := newExecutor(res.N2, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		for la := 0; la <= L; la++ {
 			if err := ex.runN2Root(la, M+1, stats); err != nil {
 				return err

@@ -3,11 +3,38 @@ package core
 import (
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 	"cure/internal/signature"
 	"cure/internal/sortutil"
 	"cure/internal/storage"
 )
+
+// edgeKind tags the plan edge a FollowEdge call descends: solid edges
+// introduce a dimension with a fresh sort, dashed edges refine the
+// rightmost grouping dimension inside an existing order (the pipelined
+// shared sorts of §3.2).
+type edgeKind uint8
+
+const (
+	edgeSolid edgeKind = iota
+	edgeDashed
+)
+
+func (e edgeKind) String() string {
+	if e == edgeDashed {
+		return "dashed"
+	}
+	return "solid"
+}
+
+// mode maps the edge kind to the paper's sort-vs-pipeline terminology.
+func (e edgeKind) mode() string {
+	if e == edgeDashed {
+		return "pipeline"
+	}
+	return "sort"
+}
 
 // executor runs the ExecutePlan / FollowEdge recursion of Figure 13 over
 // one in-memory input table (the full fact table, one partition, or the
@@ -41,9 +68,19 @@ type executor struct {
 	baseLevel []int
 	aggBuf    []float64
 	ttWritten *int64
+
+	// Instrumentation: nil-safe counters (no-ops without a registry) and
+	// an optional plan-traversal trace sink.
+	tr            *obsv.TraceWriter
+	cSortCounting *obsv.Counter
+	cSortQuick    *obsv.Counter
+	cSortRows     *obsv.Counter
+	cSegments     *obsv.Counter
+	cTTPruned     *obsv.Counter
+	cIcePruned    *obsv.Counter
 }
 
-func newExecutor(t *relation.FactTable, hier *hierarchy.Schema, specs []relation.AggSpec, countCol int, pool *signature.Pool, w *storage.Writer, iceberg int64, forceQuick bool) *executor {
+func newExecutor(t *relation.FactTable, hier *hierarchy.Schema, specs []relation.AggSpec, countCol int, pool *signature.Pool, w *storage.Writer, iceberg int64, forceQuick bool, reg *obsv.Registry) *executor {
 	ex := &executor{
 		table:    t,
 		hier:     hier,
@@ -53,6 +90,15 @@ func newExecutor(t *relation.FactTable, hier *hierarchy.Schema, specs []relation
 		w:        w,
 		countCol: countCol,
 		minCount: iceberg,
+	}
+	if reg != nil {
+		ex.tr = reg.Trace()
+		ex.cSortCounting = reg.Counter("core.sort.counting")
+		ex.cSortQuick = reg.Counter("core.sort.quick")
+		ex.cSortRows = reg.Counter("core.sort.rows")
+		ex.cSegments = reg.Counter("core.segments")
+		ex.cTTPruned = reg.Counter("core.tt_pruned")
+		ex.cIcePruned = reg.Counter("core.iceberg_pruned")
 	}
 	if ex.minCount < 1 {
 		ex.minCount = 1
@@ -87,7 +133,7 @@ func (ex *executor) runPartition(level int, stats *BuildStats) error {
 		return nil
 	}
 	ex.levels[0] = level
-	err := ex.followEdge(0, len(ex.idx), 0)
+	err := ex.followEdge(0, len(ex.idx), 0, edgeSolid)
 	ex.levels[0] = ex.hier.Dims[0].AllLevel()
 	return err
 }
@@ -109,13 +155,19 @@ func (ex *executor) executePlan(lo, hi, dim int) error {
 		}
 	}
 	if srcCount < ex.minCount {
+		ex.cIcePruned.Inc()
 		return nil // iceberg pruning: neither stored nor refined
 	}
 	node := ex.enum.Encode(ex.levels)
+	ex.cSegments.Inc()
+	if ex.tr != nil {
+		ex.tr.Emit(obsv.NodeEvent{Ev: "node", Node: int64(node), Rows: hi - lo, Depth: dim})
+	}
 	if srcCount == 1 {
 		// Trivial tuple: store only the R-rowid, once, at this (least
 		// detailed) node, and prune — the whole plan subtree shares it.
 		(*ex.ttWritten)++
+		ex.cTTPruned.Inc()
 		return ex.w.WriteTT(node, ex.table.RowID(int(ex.idx[lo])))
 	}
 	aggs := relation.AggregateRange(ex.table, ex.specs, ex.idx, lo, hi, ex.aggBuf)
@@ -138,7 +190,7 @@ func (ex *executor) executePlan(lo, hi, dim int) error {
 			dimD := ex.hier.Dims[d]
 			for l := dimD.AllLevel() - 1; l >= 0; l-- {
 				ex.levels[d] = l
-				if err := ex.followEdge(lo, hi, d); err != nil {
+				if err := ex.followEdge(lo, hi, d, edgeSolid); err != nil {
 					return err
 				}
 			}
@@ -155,7 +207,7 @@ func (ex *executor) executePlan(lo, hi, dim int) error {
 				continue
 			}
 			ex.levels[d] = top
-			if err := ex.followEdge(lo, hi, d); err != nil {
+			if err := ex.followEdge(lo, hi, d, edgeSolid); err != nil {
 				return err
 			}
 		}
@@ -171,7 +223,7 @@ func (ex *executor) executePlan(lo, hi, dim int) error {
 				continue
 			}
 			ex.levels[dim-1] = c
-			if err := ex.followEdge(lo, hi, dim-1); err != nil {
+			if err := ex.followEdge(lo, hi, dim-1, edgeDashed); err != nil {
 				return err
 			}
 		}
@@ -183,10 +235,30 @@ func (ex *executor) executePlan(lo, hi, dim int) error {
 // followEdge re-sorts the segment idx[lo:hi] on dimension dim at its
 // current level and recurses into every run of equal codes (Figure 13's
 // FollowEdge).
-func (ex *executor) followEdge(lo, hi, dim int) error {
+func (ex *executor) followEdge(lo, hi, dim int, edge edgeKind) error {
 	key := ex.keyer(dim)
 	seg := ex.idx[lo:hi]
-	ex.sorter.Sort(seg, key)
+	alg := ex.sorter.Sort(seg, key)
+	switch alg {
+	case sortutil.AlgCounting:
+		ex.cSortCounting.Inc()
+		ex.cSortRows.Add(int64(len(seg)))
+	case sortutil.AlgQuick:
+		ex.cSortQuick.Inc()
+		ex.cSortRows.Add(int64(len(seg)))
+	}
+	if ex.tr != nil {
+		ex.tr.Emit(obsv.EdgeEvent{
+			Ev:    "edge",
+			Node:  int64(ex.enum.Encode(ex.levels)),
+			Edge:  edge.String(),
+			Mode:  edge.mode(),
+			Alg:   alg.String(),
+			Dim:   dim,
+			Level: ex.levels[dim],
+			Rows:  len(seg),
+		})
+	}
 	runLo := 0
 	for runLo < len(seg) {
 		code := key.Key(seg[runLo])
@@ -230,7 +302,14 @@ func (ex *executor) runPartitionPair(la, lb int, stats *BuildStats) error {
 		ex.levels[1] = ex.hier.Dims[1].AllLevel()
 	}()
 	key0 := ex.keyer(0)
-	ex.sorter.Sort(ex.idx, key0)
+	switch ex.sorter.Sort(ex.idx, key0) {
+	case sortutil.AlgCounting:
+		ex.cSortCounting.Inc()
+		ex.cSortRows.Add(int64(len(ex.idx)))
+	case sortutil.AlgQuick:
+		ex.cSortQuick.Inc()
+		ex.cSortRows.Add(int64(len(ex.idx)))
+	}
 	lo := 0
 	for lo < len(ex.idx) {
 		code := key0.Key(ex.idx[lo])
@@ -239,7 +318,7 @@ func (ex *executor) runPartitionPair(la, lb int, stats *BuildStats) error {
 			hi++
 		}
 		// Inner segmentation on dimension 1 at level lb.
-		if err := ex.followEdge(lo, hi, 1); err != nil {
+		if err := ex.followEdge(lo, hi, 1, edgeSolid); err != nil {
 			return err
 		}
 		lo = hi
@@ -263,5 +342,5 @@ func (ex *executor) runN2Root(la, lbCap int, stats *BuildStats) error {
 		ex.baseLevel[0] = 0
 		ex.baseLevel[1] = 0
 	}()
-	return ex.followEdge(0, len(ex.idx), 0)
+	return ex.followEdge(0, len(ex.idx), 0, edgeSolid)
 }

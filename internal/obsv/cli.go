@@ -1,0 +1,99 @@
+package obsv
+
+import (
+	"flag"
+	"io"
+	"time"
+)
+
+// CLI bundles the observability command-line flags shared by the cure
+// commands (curectl, cubebench, apbgen): metrics/trace sinks, pprof
+// profiles, and a periodic progress reporter.
+type CLI struct {
+	MetricsOut string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+	Progress   bool
+
+	reg          *Registry
+	closeTrace   func() error
+	stopCPU      func()
+	stopProgress func()
+}
+
+// RegisterFlags registers the standard observability flags on fs and
+// returns the CLI that will honor them.
+func RegisterFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write metrics snapshot JSON to file ('-' = stdout)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write JSONL plan-traversal trace to file ('-' = stdout)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write CPU profile to file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write heap profile to file")
+	fs.BoolVar(&c.Progress, "progress", false, "report build progress to stderr every 2s")
+	return c
+}
+
+// Registry returns the registry the flags call for: a live one when any
+// metrics, trace, or progress flag was given, nil (zero-overhead)
+// otherwise.
+func (c *CLI) Registry() *Registry {
+	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress) {
+		c.reg = NewRegistry()
+	}
+	return c.reg
+}
+
+// Start opens the trace sink, begins CPU profiling, and launches the
+// progress reporter (writing to progressW) as requested by the flags.
+// Call Finish when the instrumented work is done.
+func (c *CLI) Start(progressW io.Writer) error {
+	if c.TraceOut != "" {
+		tw, closeFn, err := OpenTraceFile(c.TraceOut)
+		if err != nil {
+			return err
+		}
+		c.Registry().SetTrace(tw)
+		c.closeTrace = closeFn
+	}
+	if c.CPUProfile != "" {
+		stop, err := StartCPUProfile(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		c.stopCPU = stop
+	}
+	if c.Progress {
+		c.stopProgress = StartProgress(c.Registry(), progressW, 2*time.Second)
+	}
+	return nil
+}
+
+// Finish stops the progress reporter and CPU profiler, writes the heap
+// profile and metrics snapshot, and flushes the trace. Safe to call once
+// after Start (even a failed one).
+func (c *CLI) Finish() error {
+	if c.stopProgress != nil {
+		c.stopProgress()
+	}
+	if c.stopCPU != nil {
+		c.stopCPU()
+	}
+	var firstErr error
+	if c.MemProfile != "" {
+		if err := WriteHeapProfile(c.MemProfile); err != nil {
+			firstErr = err
+		}
+	}
+	if c.MetricsOut != "" {
+		if err := WriteMetricsFile(c.reg, c.MetricsOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.closeTrace != nil {
+		if err := c.closeTrace(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

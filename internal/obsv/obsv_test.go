@@ -1,0 +1,202 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	h := r.Histogram("z")
+	h.Observe(3)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	s := r.StartSpan("build")
+	child := s.Child("phase")
+	child.AddRowsIn(10)
+	child.End()
+	s.End()
+	if s.Elapsed() != 0 || s.Path() != "" {
+		t.Fatal("nil span not inert")
+	}
+	if r.Trace() != nil {
+		t.Fatal("nil registry has a trace")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("core.tt")
+	c.Add(3)
+	c.Inc()
+	if got := r.Counter("core.tt").Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("core.tt") != c {
+		t.Fatal("counter not interned")
+	}
+	r.Gauge("pool.occupancy").Set(42)
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("hist count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q < 3 || q > 7 {
+		t.Fatalf("p50 = %d, want bucket bound covering 3", q)
+	}
+	if q := h.Quantile(1); q < 1000 {
+		t.Fatalf("p100 = %d, want ≥ 1000", q)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["core.tt"] != 4 || snap.Gauges["pool.occupancy"] != 42 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 5 {
+		t.Fatalf("snapshot hists = %+v", snap.Histograms)
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	r := NewRegistry()
+	build := r.StartSpan("build")
+	load := build.Child("load")
+	load.AddRowsIn(100)
+	load.AddBytesRead(4096)
+	time.Sleep(time.Millisecond)
+	load.End()
+	load.End() // double End is a no-op
+	cube := build.Child("cube")
+	cube.End()
+	build.End()
+
+	if build.Path() != "build" || load.Path() != "build/load" {
+		t.Fatalf("paths = %q, %q", build.Path(), load.Path())
+	}
+	if load.Elapsed() <= 0 || build.Elapsed() < load.Elapsed() {
+		t.Fatalf("elapsed: build=%v load=%v", build.Elapsed(), load.Elapsed())
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 || len(snap.Spans[0].Children) != 2 {
+		t.Fatalf("span snapshot = %+v", snap.Spans)
+	}
+	if snap.Spans[0].Children[0].RowsIn != 100 || snap.Spans[0].Children[0].BytesRead != 4096 {
+		t.Fatalf("child snapshot = %+v", snap.Spans[0].Children[0])
+	}
+
+	totals := PhaseTotals(r.TakeSpans())
+	if totals["build/load"] <= 0 || totals["build"] <= 0 {
+		t.Fatalf("phase totals = %v", totals)
+	}
+	if len(r.TakeSpans()) != 0 {
+		t.Fatal("TakeSpans did not drain")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	parent := r.StartSpan("build")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(j))
+			}
+			s := parent.Child("worker")
+			s.AddRowsIn(1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := len(parent.Children()); got != 8 {
+		t.Fatalf("children = %d, want 8", got)
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Emit(NodeEvent{Ev: "node", Node: 7, Rows: 3, Depth: 1})
+	tw.Emit(EdgeEvent{Ev: "edge", Node: 8, Edge: "solid", Mode: "sort", Alg: "counting", Rows: 3})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || tw.Events() != 2 {
+		t.Fatalf("lines = %d, events = %d", len(lines), tw.Events())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev["ev"] != "node" || ev["node"] != float64(7) {
+		t.Fatalf("event = %v", ev)
+	}
+
+	var nilTW *TraceWriter
+	nilTW.Emit(NodeEvent{})
+	if nilTW.Flush() != nil || nilTW.Events() != 0 {
+		t.Fatal("nil trace writer not inert")
+	}
+}
+
+func TestSpanEventOnEnd(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.SetTrace(NewTraceWriter(&buf))
+	s := r.StartSpan("build")
+	s.AddRowsOut(5)
+	s.End()
+	if err := r.Trace().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ev SpanEvent
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ev != "span" || ev.Span != "build" || ev.RowsOut != 5 {
+		t.Fatalf("span event = %+v", ev)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("build")
+	p := s.Child("partition.cube")
+	r.Counter("core.sort.rows").Add(1234)
+	line := r.ProgressLine()
+	if !strings.Contains(line, "phase=build/partition.cube") || !strings.Contains(line, "core.sort.rows=1234") {
+		t.Fatalf("progress line = %q", line)
+	}
+	p.End()
+	s.End()
+}

@@ -1,0 +1,117 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// openOut opens path for writing, mapping "-" to stdout. The returned
+// close func is a no-op for stdout.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// StartCPUProfile begins a CPU profile at path and returns the stop
+// function.
+func StartCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an up-to-date heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // get up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
+}
+
+// WriteMetricsFile writes the registry snapshot as JSON to path ("-" =
+// stdout).
+func WriteMetricsFile(r *Registry, path string) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+// OpenTraceFile creates a JSONL trace sink at path ("-" = stdout) and
+// returns it with a close function that flushes and closes the file.
+func OpenTraceFile(path string) (*TraceWriter, func() error, error) {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTraceWriter(w)
+	return t, func() error {
+		ferr := t.Flush()
+		if cerr := closeFn(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}, nil
+}
+
+// StartProgress launches a goroutine printing one registry progress line
+// to w every interval, for long out-of-core builds. The returned stop
+// function prints a final line and terminates the reporter.
+func StartProgress(r *Registry, w io.Writer, interval time.Duration) func() {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	emit := func() {
+		if line := r.ProgressLine(); line != "" {
+			fmt.Fprintf(w, "[%7.1fs] %s\n", time.Since(start).Seconds(), line)
+		}
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-done:
+				emit()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,202 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one phase of a hierarchical execution: it carries wall time
+// (start to End) and the rows/bytes that moved through the phase.
+// Children nest (build → partition → node → sort); fields are atomic so
+// concurrent partition workers may report into sibling spans. The nil
+// Span is a valid no-op and hands out nil children.
+type Span struct {
+	reg    *Registry
+	parent *Span
+	name   string
+	start  time.Time
+	nanos  atomic.Int64 // running total; set once at End for ended spans
+
+	rowsIn       atomic.Int64
+	rowsOut      atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+	ended    bool
+}
+
+// StartSpan opens a new root span (nil when r is nil).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{reg: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	r.current.Store(s)
+	return s
+}
+
+// Child opens a sub-span (nil when s is nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{reg: s.reg, parent: s, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	s.reg.current.Store(c)
+	return c
+}
+
+// End closes the span, freezing its elapsed time. Ending twice is a
+// no-op. If the registry has a trace sink attached, a span event is
+// emitted.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.mu.Unlock()
+	s.nanos.Store(int64(time.Since(s.start)))
+	s.reg.current.CompareAndSwap(s, s.parent)
+	if tr := s.reg.Trace(); tr != nil {
+		tr.Emit(SpanEvent{
+			Ev:           "span",
+			Span:         s.Path(),
+			ElapsedUs:    s.nanos.Load() / 1e3,
+			RowsIn:       s.rowsIn.Load(),
+			RowsOut:      s.rowsOut.Load(),
+			BytesRead:    s.bytesRead.Load(),
+			BytesWritten: s.bytesWritten.Load(),
+		})
+	}
+}
+
+// Elapsed returns the span's wall time: frozen for ended spans, running
+// for open ones (0 for the nil Span).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	ended := s.ended
+	s.mu.Unlock()
+	if ended {
+		return time.Duration(s.nanos.Load())
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's name ("" for the nil Span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Path returns the slash-joined span path from the root ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.Path() + "/" + s.name
+}
+
+// AddRowsIn accrues rows entering the phase.
+func (s *Span) AddRowsIn(n int64) {
+	if s != nil {
+		s.rowsIn.Add(n)
+	}
+}
+
+// AddRowsOut accrues rows leaving the phase.
+func (s *Span) AddRowsOut(n int64) {
+	if s != nil {
+		s.rowsOut.Add(n)
+	}
+}
+
+// AddBytesRead accrues bytes read during the phase.
+func (s *Span) AddBytesRead(n int64) {
+	if s != nil {
+		s.bytesRead.Add(n)
+	}
+}
+
+// AddBytesWritten accrues bytes written during the phase.
+func (s *Span) AddBytesWritten(n int64) {
+	if s != nil {
+		s.bytesWritten.Add(n)
+	}
+}
+
+// Children returns a copy of the span's child list (nil for the nil
+// Span).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span{}, s.children...)
+}
+
+// SpanSnapshot is the exported state of one span subtree.
+type SpanSnapshot struct {
+	Name         string         `json:"name"`
+	ElapsedSec   float64        `json:"elapsed_sec"`
+	RowsIn       int64          `json:"rows_in,omitempty"`
+	RowsOut      int64          `json:"rows_out,omitempty"`
+	BytesRead    int64          `json:"bytes_read,omitempty"`
+	BytesWritten int64          `json:"bytes_written,omitempty"`
+	Children     []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	ss := SpanSnapshot{
+		Name:         s.name,
+		ElapsedSec:   s.Elapsed().Seconds(),
+		RowsIn:       s.rowsIn.Load(),
+		RowsOut:      s.rowsOut.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+	for _, c := range s.Children() {
+		ss.Children = append(ss.Children, c.snapshot())
+	}
+	return ss
+}
+
+// PhaseTotals sums elapsed seconds by span path over a set of root
+// spans, one map entry per distinct path ("build", "build/partition.split",
+// …). Repeated builds accumulate, which is what per-experiment phase
+// attribution wants.
+func PhaseTotals(spans []*Span) map[string]float64 {
+	totals := map[string]float64{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		totals[s.Path()] += s.Elapsed().Seconds()
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, s := range spans {
+		walk(s)
+	}
+	return totals
+}

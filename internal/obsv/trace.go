@@ -1,0 +1,147 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceWriter is a line-oriented JSON event sink: every Emit marshals
+// one event and appends one line. It is safe for concurrent use (a build
+// may run parallel partition workers) and buffers internally; call Flush
+// (or Close the underlying file after Flush) when done. The nil
+// TraceWriter is a valid no-op.
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	err    error
+	events atomic.Int64
+}
+
+// NewTraceWriter wraps w as a JSONL trace sink.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit appends one event as a JSON line. Marshal or write errors are
+// sticky and reported by Flush; tracing never fails a build.
+func (t *TraceWriter) Emit(ev any) {
+	if t == nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+		return
+	}
+	t.events.Add(1)
+}
+
+// Events returns the number of events emitted so far.
+func (t *TraceWriter) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.events.Load()
+}
+
+// Flush drains the buffer and returns the first error encountered, if
+// any.
+func (t *TraceWriter) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Trace event vocabulary. Every event carries Ev as its discriminator;
+// the schema is documented in DESIGN.md §Observability.
+
+// NodeEvent records one ExecutePlan visit: the lattice node whose tuple
+// was computed from a segment of Rows source rows. Depth is the
+// recursion depth (number of grouped dimensions so far).
+type NodeEvent struct {
+	Ev    string `json:"ev"` // "node"
+	Node  int64  `json:"node"`
+	Rows  int    `json:"rows"`
+	Depth int    `json:"depth"`
+}
+
+// EdgeEvent records one FollowEdge execution: the plan edge taken into
+// the node, whether it was a solid edge (fresh sort) or a dashed edge
+// (pipelined refinement of an existing order), and the sort algorithm
+// that ran.
+type EdgeEvent struct {
+	Ev    string `json:"ev"`   // "edge"
+	Node  int64  `json:"node"` // target node of the edge
+	Edge  string `json:"edge"` // "solid" | "dashed"
+	Mode  string `json:"mode"` // "sort" | "pipeline"
+	Alg   string `json:"alg"`  // "counting" | "quick" | "none"
+	Dim   int    `json:"dim"`
+	Level int    `json:"level"`
+	Rows  int    `json:"rows"`
+}
+
+// SpanEvent records the completion of a phase span.
+type SpanEvent struct {
+	Ev           string `json:"ev"` // "span"
+	Span         string `json:"span"`
+	ElapsedUs    int64  `json:"elapsed_us"`
+	RowsIn       int64  `json:"rows_in,omitempty"`
+	RowsOut      int64  `json:"rows_out,omitempty"`
+	BytesRead    int64  `json:"bytes_read,omitempty"`
+	BytesWritten int64  `json:"bytes_written,omitempty"`
+}
+
+// FlushEvent records one signature-pool flush: occupancy at flush time
+// and the NT/CAT split observed.
+type FlushEvent struct {
+	Ev        string `json:"ev"` // "pool-flush"
+	Size      int    `json:"size"`
+	NTs       int64  `json:"nts"`
+	CatGroups int64  `json:"cat_groups"`
+	CatSigs   int64  `json:"cat_sigs"`
+	Format    string `json:"format"`
+}
+
+// LevelEvent records one candidate level considered during
+// partition-level selection (§4), with the feasibility verdict.
+type LevelEvent struct {
+	Ev       string `json:"ev"` // "select-level"
+	Dim      string `json:"dim"`
+	Level    int    `json:"level"`
+	Card     int64  `json:"card"`
+	Need     int64  `json:"need"`
+	NBytes   int64  `json:"n_bytes"`
+	NBudget  int64  `json:"n_budget"`
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// PartitionEvent records one partition file produced by the split pass.
+type PartitionEvent struct {
+	Ev    string `json:"ev"` // "partition"
+	Index int    `json:"index"`
+	Rows  int64  `json:"rows"`
+	Bytes int64  `json:"bytes"`
+}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"cure/internal/hierarchy"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 )
 
@@ -43,23 +44,48 @@ type LevelChoice struct {
 // algorithm can then be extended to pairs of dimensions, an extension we
 // do not implement.
 func SelectLevel(dim *hierarchy.Dim, rBytes, partBudget, nBudget int64) (LevelChoice, error) {
+	return SelectLevelObs(dim, rBytes, partBudget, nBudget, nil)
+}
+
+// SelectLevelObs is SelectLevel with the decision trace streamed to reg's
+// trace sink: one level event per candidate level, recording why it was
+// rejected (too few distinct values for soundness, or node N over budget)
+// or that it was chosen. A nil registry makes it identical to SelectLevel.
+func SelectLevelObs(dim *hierarchy.Dim, rBytes, partBudget, nBudget int64, reg *obsv.Registry) (LevelChoice, error) {
 	if rBytes <= 0 || partBudget <= 0 || nBudget <= 0 {
 		return LevelChoice{}, fmt.Errorf("partition: non-positive sizes (R=%d, M=%d, N budget=%d)", rBytes, partBudget, nBudget)
 	}
+	tr := reg.Trace()
 	need := (rBytes + partBudget - 1) / partBudget
 	if need < 1 {
 		need = 1
 	}
+	emit := func(l int, nBytes int64, feasible bool, reason string) {
+		if tr == nil {
+			return
+		}
+		tr.Emit(obsv.LevelEvent{
+			Ev: "select-level", Dim: dim.Name, Level: l,
+			Card: int64(dim.Card(l)), Need: need,
+			NBytes: nBytes, NBudget: nBudget,
+			Feasible: feasible, Reason: reason,
+		})
+	}
 	base := int64(dim.Card(0))
 	for l := dim.AllLevel() - 1; l >= 0; l-- {
 		if int64(dim.Card(l)) < need {
+			emit(l, 0, false, "cardinality below partition count")
 			continue
 		}
 		nextCard := int64(dim.Card(l + 1)) // 1 when l+1 is ALL
 		nBytes := rBytes * nextCard / base
 		if nBytes > nBudget {
+			emit(l, nBytes, false, "node N over budget")
 			continue
 		}
+		emit(l, nBytes, true, "selected")
+		reg.Gauge("partition.level").Set(int64(l))
+		reg.Gauge("partition.count").Set(need)
 		return LevelChoice{
 			Level:          l,
 			NumPartitions:  int(need),
@@ -117,7 +143,17 @@ func DerivedSpecs(specs []relation.AggSpec, countCol int) []relation.AggSpec {
 // l > L+1 must factor through level L+1), which Partition verifies; this
 // is what lets N's representative base codes stand in for their groups at
 // every coarser level.
-func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice) (res *Result, err error) {
+func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice) (*Result, error) {
+	return PartitionObs(factPath, dir, hier, specs, choice, nil)
+}
+
+// PartitionObs is Partition with I/O accounting: the single scan of R is
+// charged to partition.bytes_read, partition file volumes to
+// partition.bytes_written (§4's 2-reads-1-write bound is then checkable as
+// bytes_read ≈ 2 × bytes_written once the cubing phase re-reads the
+// partitions), and a partition event per file records its rows and bytes.
+// A nil registry makes it identical to Partition.
+func PartitionObs(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice, reg *obsv.Registry) (res *Result, err error) {
 	fr, err := relation.OpenFactReader(factPath)
 	if err != nil {
 		return nil, err
@@ -173,6 +209,7 @@ func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.Ag
 	aggs := make([]*relation.Aggregator, 0) // one per group; parallel to n rows
 	buf := make([]byte, fr.RowWidth())
 
+	rowsPerPart := make([]int64, numParts)
 	levelL := choice.Level
 	for r := int64(0); r < fr.Rows(); r++ {
 		if err := fr.ReadRaw(r, buf); err != nil {
@@ -184,6 +221,7 @@ func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.Ag
 		if err := writers[p].WriteWithRowID(dims, meas, r); err != nil {
 			return nil, err
 		}
+		rowsPerPart[p]++
 
 		// Fold into N.
 		binary.LittleEndian.PutUint32(key[0:], uint32(dim0.MapCode(dims[0], levelL+1)))
@@ -206,6 +244,22 @@ func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.Ag
 	for _, w := range writers {
 		if cerr := w.Close(); cerr != nil {
 			return nil, cerr
+		}
+	}
+	if reg != nil {
+		reg.Counter("partition.bytes_read").Add(fr.Rows() * int64(fr.RowWidth()))
+		reg.Counter("partition.rows").Add(fr.Rows())
+		reg.Gauge("partition.n_groups").Set(int64(n.Len()))
+		tr := reg.Trace()
+		for i, p := range paths {
+			var size int64
+			if fi, serr := os.Stat(p); serr == nil {
+				size = fi.Size()
+			}
+			reg.Counter("partition.bytes_written").Add(size)
+			if tr != nil {
+				tr.Emit(obsv.PartitionEvent{Ev: "partition", Index: i, Rows: rowsPerPart[i], Bytes: size})
+			}
 		}
 	}
 	// Materialize aggregate values and counts into N's measure columns.

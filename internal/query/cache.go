@@ -10,6 +10,7 @@ package query
 import (
 	"container/list"
 
+	"cure/internal/obsv"
 	"cure/internal/relation"
 )
 
@@ -26,6 +27,8 @@ type factCache struct {
 	lru      *list.List // front = most recent
 	hits     int64
 	misses   int64
+	// Bound registry counters (nil-safe no-ops without a registry).
+	cHits, cMisses, cEvicts *obsv.Counter
 }
 
 type cachePage struct {
@@ -35,7 +38,7 @@ type cachePage struct {
 
 // newFactCache builds a cache holding at most fraction of the file's
 // pages (fraction is clamped to [0, 1]; 0 disables caching).
-func newFactCache(fr *relation.FactReader, fraction float64) *factCache {
+func newFactCache(fr *relation.FactReader, fraction float64, reg *obsv.Registry) *factCache {
 	if fraction < 0 {
 		fraction = 0
 	}
@@ -49,6 +52,9 @@ func newFactCache(fr *relation.FactReader, fraction float64) *factCache {
 		maxPages: int(float64(totalPages) * fraction),
 		pages:    map[int64]*list.Element{},
 		lru:      list.New(),
+		cHits:    reg.Counter("query.cache.hits"),
+		cMisses:  reg.Counter("query.cache.misses"),
+		cEvicts:  reg.Counter("query.cache.evictions"),
 	}
 }
 
@@ -59,10 +65,12 @@ func (c *factCache) row(rrowid int64) ([]byte, error) {
 	off := int(rrowid%cachePageRows) * c.rowWidth
 	if el, ok := c.pages[pageID]; ok {
 		c.hits++
+		c.cHits.Inc()
 		c.lru.MoveToFront(el)
 		return el.Value.(*cachePage).data[off : off+c.rowWidth], nil
 	}
 	c.misses++
+	c.cMisses.Inc()
 	first := pageID * cachePageRows
 	count := int64(cachePageRows)
 	if first+count > c.fr.Rows() {
@@ -77,6 +85,7 @@ func (c *factCache) row(rrowid int64) ([]byte, error) {
 			oldest := c.lru.Back()
 			c.lru.Remove(oldest)
 			delete(c.pages, oldest.Value.(*cachePage).id)
+			c.cEvicts.Inc()
 		}
 		c.pages[pageID] = c.lru.PushFront(&cachePage{id: pageID, data: data})
 	}

@@ -2,9 +2,11 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 	"cure/internal/signature"
 	"cure/internal/storage"
@@ -20,6 +22,10 @@ type Options struct {
 	// the other half of §5.3's caching advice. Defaults to true via
 	// OpenDefault.
 	PinAggregates bool
+	// Metrics is the optional observability registry: cache
+	// hit/miss/eviction counters, per-query row counters, and a
+	// node-query latency histogram (microseconds). nil disables it.
+	Metrics *obsv.Registry
 }
 
 // Engine answers queries over one materialized cube directory.
@@ -29,6 +35,12 @@ type Engine struct {
 	cache  *factCache
 	aggRaw []byte // pinned AGGREGATES, nil when not pinned
 	enum   *lattice.Enum
+	// reg is nil when no registry is attached; hLatency/cRows are then
+	// inert, and latency clocking is skipped entirely.
+	reg      *obsv.Registry
+	hLatency *obsv.Histogram
+	cQueries *obsv.Counter
+	cRows    *obsv.Counter
 }
 
 // Open opens a cube directory for querying.
@@ -43,10 +55,14 @@ func Open(dir string, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		r:     r,
-		fact:  fact,
-		cache: newFactCache(fact, opts.CacheFraction),
-		enum:  r.Enum(),
+		r:        r,
+		fact:     fact,
+		cache:    newFactCache(fact, opts.CacheFraction, opts.Metrics),
+		enum:     r.Enum(),
+		reg:      opts.Metrics,
+		hLatency: opts.Metrics.Histogram("query.node.latency_us"),
+		cQueries: opts.Metrics.Counter("query.node.count"),
+		cRows:    opts.Metrics.Counter("query.rows"),
 	}
 	if opts.PinAggregates {
 		if e.aggRaw, err = r.AggregatesRaw(); err != nil {
@@ -103,6 +119,19 @@ type Row struct {
 // reuses internal buffers. This is the "node query, no selection"
 // workload of the paper's §7.
 func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
+	if e.reg == nil {
+		return e.nodeQuery(id, fn)
+	}
+	start := time.Now()
+	var rows int64
+	err := e.nodeQuery(id, func(r Row) error { rows++; return fn(r) })
+	e.cQueries.Inc()
+	e.cRows.Add(rows)
+	e.hLatency.Observe(time.Since(start).Microseconds())
+	return err
+}
+
+func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	if !e.enum.Valid(id) {
 		return fmt.Errorf("query: invalid node id %d", id)
 	}
@@ -260,6 +289,19 @@ func (e *Engine) NodeCount(id lattice.NodeID) (int64, error) {
 // always 1) — the property that makes iceberg queries on CURE cubes
 // orders of magnitude cheaper than on formats that materialize TTs.
 func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
+	if e.reg == nil {
+		return e.icebergQuery(id, countAgg, minCount, fn)
+	}
+	start := time.Now()
+	var rows int64
+	err := e.icebergQuery(id, countAgg, minCount, func(r Row) error { rows++; return fn(r) })
+	e.reg.Counter("query.iceberg.count").Inc()
+	e.cRows.Add(rows)
+	e.reg.Histogram("query.iceberg.latency_us").Observe(time.Since(start).Microseconds())
+	return err
+}
+
+func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
 	specs := e.r.Manifest().AggSpecs
 	if countAgg < 0 || countAgg >= len(specs) || specs[countAgg].Func != relation.AggCount {
 		return fmt.Errorf("query: aggregate %d is not a COUNT", countAgg)

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 )
 
 // Format selects how CATs are materialized (§5.1).
@@ -149,6 +150,10 @@ type Pool struct {
 	// ForceFormat, when not FormatUndecided, bypasses the dynamic
 	// decision; used by tests and by ablation benchmarks.
 	ForceFormat Format
+	// Metrics is the optional observability registry: flush counts,
+	// NT/CAT classification counters, pool occupancy at flush time, and a
+	// flush trace event per Flush. nil disables it.
+	Metrics *obsv.Registry
 }
 
 // NewPool creates a pool holding up to capacity signatures with numAggrs
@@ -289,6 +294,12 @@ func (p *Pool) Flush() error {
 	p.stats.CatSigs += flushStats.CatSigs
 	p.stats.CatSourceSets += flushStats.CatSourceSets
 	p.stats.Flushes++
+	if reg := p.Metrics; reg != nil {
+		reg.Counter("pool.flushes").Inc()
+		reg.Counter("pool.cat_groups").Add(flushStats.CatGroups)
+		reg.Counter("pool.cat_sigs").Add(flushStats.CatSigs)
+		reg.Gauge("pool.occupancy").Set(int64(n))
+	}
 
 	// Lock the format once: the first flush that actually sees CATs
 	// decides for the whole construction, as the paper prescribes.
@@ -306,6 +317,7 @@ func (p *Pool) Flush() error {
 	}
 
 	// Second pass: emit.
+	ntsBefore := p.stats.NTs
 	var err error
 	for lo := 0; lo < n && err == nil; {
 		hi := lo + 1
@@ -314,6 +326,17 @@ func (p *Pool) Flush() error {
 		}
 		err = p.emitGroup(order[lo:hi], effective)
 		lo = hi
+	}
+	if reg := p.Metrics; reg != nil {
+		flushNTs := p.stats.NTs - ntsBefore
+		reg.Counter("pool.nts").Add(flushNTs)
+		if tr := reg.Trace(); tr != nil {
+			tr.Emit(obsv.FlushEvent{
+				Ev: "pool-flush", Size: n, NTs: flushNTs,
+				CatGroups: flushStats.CatGroups, CatSigs: flushStats.CatSigs,
+				Format: effective.String(),
+			})
+		}
 	}
 	p.aggrs = p.aggrs[:0]
 	p.rrowids = p.rrowids[:0]

@@ -45,6 +45,30 @@ func (k MappedKeyer) Card() int32 { return k.Hi }
 // zeroes and its initialization would dominate).
 const countingSortThreshold = 4
 
+// Alg identifies which algorithm a Sort call ran, for instrumentation.
+type Alg uint8
+
+const (
+	// AlgNone means the segment was too short to need sorting.
+	AlgNone Alg = iota
+	// AlgCounting is the stable distribution sort.
+	AlgCounting
+	// AlgQuick is the three-way quicksort fallback.
+	AlgQuick
+)
+
+// String names the algorithm.
+func (a Alg) String() string {
+	switch a {
+	case AlgCounting:
+		return "counting"
+	case AlgQuick:
+		return "quick"
+	default:
+		return "none"
+	}
+}
+
 // Sorter sorts index segments, reusing scratch buffers across calls. It is
 // not safe for concurrent use; cube construction owns one per goroutine.
 type Sorter struct {
@@ -59,18 +83,19 @@ type Sorter struct {
 
 // Sort reorders idx so that keys are non-decreasing. It chooses counting
 // sort when the cardinality is small relative to the segment, quicksort
-// otherwise.
-func (s *Sorter) Sort(idx []int32, key Keyer) {
+// otherwise, and reports which algorithm ran.
+func (s *Sorter) Sort(idx []int32, key Keyer) Alg {
 	if len(idx) < 2 {
-		return
+		return AlgNone
 	}
 	card := int(key.Card())
 	useCounting := !s.ForceQuick && (s.ForceCounting || card <= countingSortThreshold*len(idx) || card <= 256)
 	if useCounting {
 		s.countingSort(idx, key, card)
-		return
+		return AlgCounting
 	}
 	s.quickSort(idx, key)
+	return AlgQuick
 }
 
 // countingSort is a stable distribution sort over codes [0, card).

@@ -14,6 +14,7 @@ import (
 	"cure/internal/bitmap"
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 	"cure/internal/signature"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	StageBudget int64
 	// Iceberg records the min-count threshold of the build (default 1).
 	Iceberg int64
+	// Metrics is the optional observability registry: per-relation tuple
+	// and byte counters (storage.nt.*, storage.tt.*, storage.cat.*,
+	// storage.agg.*) and final size gauges. nil disables it.
+	Metrics *obsv.Registry
 }
 
 // Writer materializes a cube. It implements signature.Sink for NT/CAT
@@ -74,6 +79,12 @@ type Writer struct {
 	catFormat  signature.Format
 	partLevel  int
 	partLevelB int
+
+	// Bound instruments (nil-safe no-ops when no registry is attached).
+	cNTRows, cNTBytes   *obsv.Counter
+	cTTRows, cTTBytes   *obsv.Counter
+	cCATRows, cCATBytes *obsv.Counter
+	cAggRows, cAggBytes *obsv.Counter
 
 	finalized bool
 }
@@ -112,6 +123,11 @@ func NewWriter(opts Options) (*Writer, error) {
 	}
 	w.aggW = bufio.NewWriterSize(w.aggF, 1<<20)
 	w.aggBuf = make([]byte, 8+8*len(opts.AggSpecs))
+	reg := opts.Metrics // nil registry yields nil (inert) counters
+	w.cNTRows, w.cNTBytes = reg.Counter("storage.nt.rows"), reg.Counter("storage.nt.bytes")
+	w.cTTRows, w.cTTBytes = reg.Counter("storage.tt.rows"), reg.Counter("storage.tt.bytes")
+	w.cCATRows, w.cCATBytes = reg.Counter("storage.cat.rows"), reg.Counter("storage.cat.bytes")
+	w.cAggRows, w.cAggBytes = reg.Counter("storage.agg.rows"), reg.Counter("storage.agg.bytes")
 	return w, nil
 }
 
@@ -152,6 +168,8 @@ func (w *Writer) WriteNT(node lattice.NodeID, rrowid int64, aggrs []float64) err
 	row := w.ntLog.rowBuf()
 	putInt64(row, rrowid)
 	putAggrs(row[8:], aggrs)
+	w.cNTRows.Inc()
+	w.cNTBytes.Add(int64(len(row)))
 	return w.ntLog.append(node, row)
 }
 
@@ -183,6 +201,8 @@ func (w *Writer) AppendAggregate(rrowid int64, aggrs []float64) (int64, error) {
 	if _, err := w.aggW.Write(buf); err != nil {
 		return 0, err
 	}
+	w.cAggRows.Inc()
+	w.cAggBytes.Add(int64(len(buf)))
 	id := w.aggRows
 	w.aggRows++
 	return id, nil
@@ -195,6 +215,8 @@ func (w *Writer) WriteCAT(node lattice.NodeID, rrowid, arowid int64) error {
 	row := w.catLog.rowBuf()
 	putInt64(row, rrowid)
 	putInt64(row[8:], arowid)
+	w.cCATRows.Inc()
+	w.cCATBytes.Add(int64(len(row)))
 	return w.catLog.append(node, row)
 }
 
@@ -205,6 +227,8 @@ func (w *Writer) WriteTT(node lattice.NodeID, rrowid int64) error {
 	defer w.unlock()
 	row := w.ttLog.rowBuf()
 	putInt64(row, rrowid)
+	w.cTTRows.Inc()
+	w.cTTBytes.Add(int64(len(row)))
 	return w.ttLog.append(node, row)
 }
 
@@ -297,6 +321,15 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 			}
 			m.Checksums[f.name] = sum
 		}
+	}
+
+	if reg := w.opts.Metrics; reg != nil {
+		reg.Gauge("storage.size.nt").Set(m.Sizes.NT)
+		reg.Gauge("storage.size.tt").Set(m.Sizes.TT)
+		reg.Gauge("storage.size.cat").Set(m.Sizes.CAT)
+		reg.Gauge("storage.size.agg").Set(m.Sizes.Agg)
+		reg.Gauge("storage.size.bitmap").Set(m.Sizes.Bitmap)
+		reg.Gauge("storage.nodes").Set(int64(len(m.Nodes)))
 	}
 
 	if err := hierarchy.WriteSchemaFile(filepath.Join(w.opts.Dir, HierFile), w.opts.Hier); err != nil {
