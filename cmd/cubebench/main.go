@@ -31,6 +31,9 @@ func main() {
 		workDir   = flag.String("workdir", "", "scratch directory (default: a temp dir, removed on exit)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		format    = flag.String("format", "text", "output format: text | md | json")
+		baseline  = flag.String("baseline", "", "bench JSON file (from -format json) to compare per-phase wall times against")
+		regFail   = flag.Bool("regress-fail", false, "exit non-zero when the -baseline comparison flags regressions (default: report only)")
+		regThresh = flag.Float64("regress-threshold", 0.20, "per-phase wall-time growth fraction the -baseline gate flags")
 	)
 	obs := obsv.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -83,24 +86,36 @@ func main() {
 			return r.String()
 		}
 	}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		// Stream each result as its group completes; the whole suite can
-		// take tens of minutes at larger scales.
-		for _, id := range h.IDs() {
-			r, err := h.Run(id)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			fmt.Println(render(r))
-		}
-		return
+		ids = h.IDs()
 	}
-	for _, id := range strings.Split(*exp, ",") {
+	// Stream each result as its group completes; the whole suite can
+	// take tens of minutes at larger scales.
+	var results []*bench.Result
+	for _, id := range ids {
 		r, err := h.Run(strings.TrimSpace(id))
 		if err != nil {
 			fatalf("%v", err)
 		}
+		results = append(results, r)
 		fmt.Println(render(r))
+	}
+	if *baseline != "" {
+		base, err := bench.LoadResults(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		regs := bench.CompareRuns(base, results, *regThresh)
+		fmt.Fprintln(os.Stderr, bench.CompareReport(regs, *regThresh))
+		if len(regs) > 0 && *regFail {
+			// os.Exit skips the deferred cleanup; run it by hand.
+			h.Close()
+			if err := obs.Finish(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			os.Exit(1)
+		}
 	}
 }
 

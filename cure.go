@@ -66,6 +66,19 @@ type (
 	MetricsSnapshot = obsv.Snapshot
 	// TraceWriter streams JSONL plan-traversal events during a build.
 	TraceWriter = obsv.TraceWriter
+	// Sampler periodically records runtime memory statistics into a
+	// registry; see StartSampler.
+	Sampler = obsv.Sampler
+	// SamplerOptions configures a Sampler's interval, ring capacity, and
+	// optional memory-budget override.
+	SamplerOptions = obsv.SamplerOptions
+	// MemSample is one runtime memory observation from a Sampler.
+	MemSample = obsv.MemSample
+	// TelemetryServer serves /metrics, /healthz, /progress, and pprof
+	// for a registry; see StartTelemetry.
+	TelemetryServer = obsv.Server
+	// TelemetryOptions configures a TelemetryServer.
+	TelemetryOptions = obsv.ServerOptions
 )
 
 // Aggregate functions.
@@ -100,3 +113,18 @@ func NewMetrics() *Registry { return obsv.NewRegistry() }
 // NewTrace creates a JSONL trace sink; attach it to a registry with
 // Registry.SetTrace to stream plan-traversal events during builds.
 func NewTrace(w io.Writer) *TraceWriter { return obsv.NewTraceWriter(w) }
+
+// WriteMetrics renders a registry snapshot in Prometheus text exposition
+// format (version 0.0.4).
+func WriteMetrics(w io.Writer, s *MetricsSnapshot) error { return obsv.WriteProm(w, s) }
+
+// StartSampler begins sampling runtime memory statistics into the
+// registry at opts.Interval; stop it with Sampler.Stop.
+func StartSampler(r *Registry, opts SamplerOptions) *Sampler { return obsv.StartSampler(r, opts) }
+
+// StartTelemetry serves /metrics, /healthz, /progress, and /debug/pprof
+// for the registry on addr (e.g. "127.0.0.1:9090"; ":0" picks a free
+// port, see TelemetryServer.Addr). Close it with TelemetryServer.Close.
+func StartTelemetry(addr string, r *Registry, opts TelemetryOptions) (*TelemetryServer, error) {
+	return obsv.StartServer(addr, r, opts)
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench-regression gate: `cubebench -format json` output is a sequence
+// of Result objects; LoadResults reads such a file (or a JSON array of
+// the same objects) back, and CompareRuns flags per-phase wall-time
+// regressions between two runs. The committed BENCH_baseline.json seeds
+// the trajectory; CI re-runs the same experiments and compares in
+// report-only mode (wall times are hardware-dependent, so the gate's
+// exit code is opt-in via cubebench -regress-fail).
+
+// LoadResults parses one or more Result JSON documents from path.
+func LoadResults(path string) ([]*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeResults(f)
+}
+
+// DecodeResults parses a stream of Result objects (concatenated, as
+// `cubebench -format json` prints them) or JSON arrays of them.
+func DecodeResults(r io.Reader) ([]*Result, error) {
+	dec := json.NewDecoder(r)
+	var out []*Result
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("bench: parsing results: %w", err)
+		}
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			var arr []*Result
+			if err := json.Unmarshal(trimmed, &arr); err != nil {
+				return nil, fmt.Errorf("bench: parsing results: %w", err)
+			}
+			out = append(out, arr...)
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(trimmed, &res); err != nil {
+			return nil, fmt.Errorf("bench: parsing results: %w", err)
+		}
+		out = append(out, &res)
+	}
+	for _, res := range out {
+		if res.ID == "" {
+			return nil, fmt.Errorf("bench: result without an id in results file")
+		}
+	}
+	return out, nil
+}
+
+// Regression is one flagged per-phase wall-time increase.
+type Regression struct {
+	// ID is the experiment the phase belongs to.
+	ID string
+	// Phase is the span path ("build/partition.split").
+	Phase string
+	// Base and Cur are the wall times (seconds) in the two runs.
+	Base, Cur float64
+	// Ratio is Cur/Base.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.3fs -> %.3fs (%.0f%%)", r.ID, r.Phase, r.Base, r.Cur, (r.Ratio-1)*100)
+}
+
+// minComparableSec filters noise: phases faster than this in the
+// baseline are too short for a ratio to mean anything.
+const minComparableSec = 0.01
+
+// CompareRuns flags every phase whose wall time grew by more than
+// threshold (a fraction; ≤ 0 defaults to 0.20, the >20% gate) between
+// the baseline and current runs. Results are matched by experiment ID
+// and phases by span path; phases present in only one run, and phases
+// below 10ms in the baseline, are skipped. The returned slice is sorted
+// by ID then phase.
+func CompareRuns(base, cur []*Result, threshold float64) []Regression {
+	if threshold <= 0 {
+		threshold = 0.20
+	}
+	baseByID := map[string]*Result{}
+	for _, r := range base {
+		baseByID[r.ID] = r
+	}
+	var out []Regression
+	for _, c := range cur {
+		b, ok := baseByID[c.ID]
+		if !ok {
+			continue
+		}
+		for phase, curSec := range c.Phases {
+			baseSec, ok := b.Phases[phase]
+			if !ok || baseSec < minComparableSec {
+				continue
+			}
+			ratio := curSec / baseSec
+			if ratio > 1+threshold {
+				out = append(out, Regression{ID: c.ID, Phase: phase, Base: baseSec, Cur: curSec, Ratio: ratio})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// CompareReport renders regressions as a human-readable block, or an
+// all-clear line when there are none.
+func CompareReport(regs []Regression, threshold float64) string {
+	if threshold <= 0 {
+		threshold = 0.20
+	}
+	if len(regs) == 0 {
+		return fmt.Sprintf("bench-compare: no per-phase regressions above %.0f%%", threshold*100)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench-compare: %d phase(s) regressed more than %.0f%%:\n", len(regs), threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeResults(t *testing.T, name string, results []*Result, asArray bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var parts []string
+	for _, r := range results {
+		parts = append(parts, r.JSON())
+	}
+	content := strings.Join(parts, "\n")
+	if asArray {
+		content = "[" + strings.Join(parts, ",") + "]"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchResult(id string, phases map[string]float64) *Result {
+	return &Result{ID: id, Title: id, Header: []string{"x"}, Phases: phases}
+}
+
+func TestLoadResultsBothForms(t *testing.T) {
+	results := []*Result{
+		benchResult("fig14", map[string]float64{"build": 1.5, "build/load": 0.2}),
+		benchResult("table1", nil),
+	}
+	for _, asArray := range []bool{false, true} {
+		path := writeResults(t, "r.json", results, asArray)
+		got, err := LoadResults(path)
+		if err != nil {
+			t.Fatalf("asArray=%v: %v", asArray, err)
+		}
+		if len(got) != 2 || got[0].ID != "fig14" || got[1].ID != "table1" {
+			t.Fatalf("asArray=%v: got %+v", asArray, got)
+		}
+		if got[0].Phases["build"] != 1.5 {
+			t.Fatalf("phases lost: %+v", got[0].Phases)
+		}
+	}
+	if _, err := LoadResults(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"title":"no id"}`), 0o644)
+	if _, err := LoadResults(bad); err == nil {
+		t.Fatal("result without id did not error")
+	}
+}
+
+func TestCompareRunsFlagsRegressions(t *testing.T) {
+	base := []*Result{
+		benchResult("fig14", map[string]float64{
+			"build":                 1.0,
+			"build/partition.split": 0.50,
+			"build/load":            0.001, // below the noise floor: never flagged
+			"gone":                  1.0,   // absent from current: skipped
+		}),
+		benchResult("fig23", map[string]float64{"build": 2.0}),
+	}
+	cur := []*Result{
+		benchResult("fig14", map[string]float64{
+			"build":                 1.15, // +15%: under the gate
+			"build/partition.split": 0.90, // +80%: flagged
+			"build/load":            1.0,  // huge ratio but noise-floored base
+			"new-phase":             5.0,  // absent from baseline: skipped
+		}),
+		benchResult("fig23", map[string]float64{"build": 2.5}), // +25%: flagged
+		benchResult("not-in-baseline", map[string]float64{"build": 9}),
+	}
+	regs := CompareRuns(base, cur, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2", regs)
+	}
+	if regs[0].ID != "fig14" || regs[0].Phase != "build/partition.split" {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].ID != "fig23" || regs[1].Phase != "build" || regs[1].Ratio != 1.25 {
+		t.Fatalf("regs[1] = %+v", regs[1])
+	}
+
+	// Default threshold kicks in at ≤ 0; +15% passes, +25% does not.
+	if got := CompareRuns(base, cur, 0); len(got) != 2 {
+		t.Fatalf("default threshold: %+v", got)
+	}
+	// A looser gate lets everything through.
+	if got := CompareRuns(base, cur, 1.0); len(got) != 0 {
+		t.Fatalf("100%% threshold: %+v", got)
+	}
+
+	report := CompareReport(regs, 0.20)
+	if !strings.Contains(report, "2 phase(s)") || !strings.Contains(report, "build/partition.split") {
+		t.Fatalf("report = %q", report)
+	}
+	if clear := CompareReport(nil, 0.20); !strings.Contains(clear, "no per-phase regressions") {
+		t.Fatalf("all-clear report = %q", clear)
+	}
+}
+
+func TestCompareRunsIdenticalRunsClean(t *testing.T) {
+	run := []*Result{benchResult("fig14", map[string]float64{"build": 1.0, "build/cube": 0.7})}
+	if regs := CompareRuns(run, run, 0.20); len(regs) != 0 {
+		t.Fatalf("identical runs flagged: %+v", regs)
+	}
+}

@@ -129,6 +129,11 @@ func Build(opts Options) (*BuildStats, error) {
 		return nil, err
 	}
 	reg := opts.Metrics
+	if opts.MemoryBudget > 0 {
+		// Declare the budget up front so the runtime sampler (and any
+		// /metrics scraper) can check §4's budget adherence externally.
+		reg.Gauge(obsv.BudgetGaugeName).Set(opts.MemoryBudget)
+	}
 	root := reg.StartSpan("build")
 	defer root.End() // ends early on success; ending twice is a no-op
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cure/internal/obsv"
+	"cure/internal/query"
+	"cure/internal/relation"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestLiveTelemetryDuringPartitionedBuild is the tentpole acceptance
+// check: while a partitioned build runs, the telemetry server answers
+// /metrics (valid Prometheus text), /healthz, /progress (JSON and SSE),
+// and pprof; the runtime sampler emits mem_sample events and — under the
+// forced low memory budget — a mem_budget crossing; and a query engine
+// attached to the same registry lands its spans and counters in the same
+// exposition as the build's.
+func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
+	hier := paperHier(t)
+	ft := duplicatedFact(t, 8000, 31)
+	dir := t.TempDir()
+	factPath := filepath.Join(dir, "fact.bin")
+	if err := relation.WriteFactFile(factPath, ft); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obsv.NewRegistry()
+	var trace bytes.Buffer
+	reg.SetTrace(obsv.NewTraceWriter(&trace))
+	smp := obsv.StartSampler(reg, obsv.SamplerOptions{Interval: 2 * time.Millisecond})
+	srv, err := obsv.StartServer("127.0.0.1:0", reg, obsv.ServerOptions{
+		Sampler:          smp,
+		ProgressInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Scaled from the known-sound 400-rows/16KB pairing: large enough for
+	// the partitioner to find a sound split, small enough both to force
+	// the external path and to sit far below the process's real heap use
+	// (so the sampler must record a budget crossing).
+	const memBudget = 320_000
+	buildDone := make(chan error, 1)
+	var stats *BuildStats
+	go func() {
+		var berr error
+		stats, berr = Build(Options{
+			Dir:          filepath.Join(dir, "cube"),
+			FactPath:     factPath,
+			Hier:         hier,
+			AggSpecs:     testSpecs(),
+			MemoryBudget: memBudget,
+			Metrics:      reg,
+		})
+		buildDone <- berr
+	}()
+
+	// Scrape while the build runs. The build takes orders of magnitude
+	// longer than one scrape loop, so observing a running build span is
+	// deterministic in practice; every scrape must be well-formed either
+	// way.
+	sawLiveBuild := false
+	sawLiveMetrics := false
+	for done := false; !done; {
+		select {
+		case err := <-buildDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		default:
+		}
+
+		code, body := httpGet(t, base+"/healthz")
+		if code != 200 || strings.TrimSpace(body) != "ok" {
+			t.Fatalf("/healthz = %d %q", code, body)
+		}
+
+		code, body = httpGet(t, base+"/metrics")
+		if code != 200 {
+			t.Fatalf("/metrics = %d", code)
+		}
+		metrics, err := obsv.ParseProm(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, body)
+		}
+		if _, ok := metrics[`cure_span_elapsed_seconds{path="build"}`]; ok && !done {
+			sawLiveMetrics = true
+		}
+
+		code, body = httpGet(t, base+"/progress")
+		if code != 200 {
+			t.Fatalf("/progress = %d", code)
+		}
+		var pj struct {
+			Progress string         `json:"progress"`
+			Snapshot *obsv.Snapshot `json:"snapshot"`
+		}
+		if err := json.Unmarshal([]byte(body), &pj); err != nil {
+			t.Fatalf("/progress is not JSON: %v", err)
+		}
+		if pj.Snapshot != nil && !done {
+			for _, sp := range pj.Snapshot.Spans {
+				if sp.Name == "build" && sp.Running {
+					if !sp.EndTime.IsZero() {
+						t.Fatalf("running span has non-zero end time: %+v", sp)
+					}
+					sawLiveBuild = true
+				}
+			}
+		}
+	}
+	if !stats.Partitioned {
+		t.Fatal("build did not partition; raise the table size or lower the budget")
+	}
+	if !sawLiveBuild || !sawLiveMetrics {
+		t.Fatalf("never observed the build live (progress=%v, metrics=%v)", sawLiveBuild, sawLiveMetrics)
+	}
+
+	// SSE: one request must yield progress events.
+	req, err := http.NewRequest("GET", base+"/progress?stream=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sseData := 0
+	for sc.Scan() && sseData < 2 {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			sseData++
+		}
+	}
+	resp.Body.Close()
+	if sseData < 2 {
+		t.Fatalf("SSE stream yielded %d data lines", sseData)
+	}
+
+	// pprof is mounted.
+	if code, body := httpGet(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// Query traffic on the same registry: its spans and counters join
+	// the exposition.
+	eng, err := query.Open(filepath.Join(dir, "cube"), query.Options{CacheFraction: 1, PinAggregates: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := eng.Enum().Encode([]int{0, 0, 0})
+	if err := eng.NodeQuery(id, func(query.Row) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	_, body := httpGet(t, base+"/metrics")
+	metrics, err := obsv.ParseProm(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"cure_query_node_count",
+		"cure_query_scan_nt_rows",
+		"cure_query_node_latency_us_p99",
+		"cure_partition_bytes_read",
+		"cure_runtime_heap_inuse_bytes",
+		`cure_span_elapsed_seconds{path="query.node"}`,
+	} {
+		if _, ok := metrics[name]; !ok {
+			t.Fatalf("exposition missing %q after query traffic:\n%s", name, body)
+		}
+	}
+
+	// Sampler evidence in the trace: mem_sample events during the build,
+	// and a mem_budget "above" crossing against the forced low budget.
+	smp.Stop()
+	srv.Close()
+	if err := reg.Trace().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var memSamples, crossings int
+	dec := json.NewDecoder(bytes.NewReader(trace.Bytes()))
+	for dec.More() {
+		var ev struct {
+			Ev     string `json:"ev"`
+			Dir    string `json:"dir"`
+			Budget int64  `json:"budget"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Ev {
+		case "mem_sample":
+			memSamples++
+		case "mem_budget":
+			if ev.Dir == "above" {
+				crossings++
+				if ev.Budget != memBudget {
+					t.Fatalf("mem_budget event budget = %d, want %d", ev.Budget, memBudget)
+				}
+			}
+		}
+	}
+	if memSamples < 1 {
+		t.Fatal("no mem_sample events in trace")
+	}
+	if crossings < 1 {
+		t.Fatal("no mem_budget crossing despite a 64KB budget")
+	}
+	if smp.Samples() < 1 {
+		t.Fatal("sampler took no samples")
+	}
+
+	verifyCube(t, filepath.Join(dir, "cube"), hier, ft, testSpecs(), query.Options{CacheFraction: 1, PinAggregates: true})
+}

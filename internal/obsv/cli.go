@@ -2,24 +2,31 @@ package obsv
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"time"
 )
 
 // CLI bundles the observability command-line flags shared by the cure
 // commands (curectl, cubebench, apbgen): metrics/trace sinks, pprof
-// profiles, and a periodic progress reporter.
+// profiles, a periodic progress reporter, the runtime sampler, and the
+// live telemetry server.
 type CLI struct {
-	MetricsOut string
-	TraceOut   string
-	CPUProfile string
-	MemProfile string
-	Progress   bool
+	MetricsOut  string
+	TraceOut    string
+	CPUProfile  string
+	MemProfile  string
+	Progress    bool
+	ServeAddr   string
+	ServeHold   time.Duration
+	SampleEvery time.Duration
 
 	reg          *Registry
 	closeTrace   func() error
 	stopCPU      func()
 	stopProgress func()
+	sampler      *Sampler
+	server       *Server
 }
 
 // RegisterFlags registers the standard observability flags on fs and
@@ -31,22 +38,27 @@ func RegisterFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write CPU profile to file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write heap profile to file")
 	fs.BoolVar(&c.Progress, "progress", false, "report build progress to stderr every 2s")
+	fs.StringVar(&c.ServeAddr, "serve", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof)")
+	fs.DurationVar(&c.ServeHold, "serve-hold", 0, "keep the -serve telemetry server up this long after the work finishes")
+	fs.DurationVar(&c.SampleEvery, "sample-every", 0, "runtime sampler interval (default 250ms when -serve is set, off otherwise)")
 	return c
 }
 
 // Registry returns the registry the flags call for: a live one when any
-// metrics, trace, or progress flag was given, nil (zero-overhead)
-// otherwise.
+// metrics, trace, progress, serve, or sampling flag was given, nil
+// (zero-overhead) otherwise.
 func (c *CLI) Registry() *Registry {
-	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress) {
+	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress || c.ServeAddr != "" || c.SampleEvery > 0) {
 		c.reg = NewRegistry()
 	}
 	return c.reg
 }
 
-// Start opens the trace sink, begins CPU profiling, and launches the
-// progress reporter (writing to progressW) as requested by the flags.
-// Call Finish when the instrumented work is done.
+// Start opens the trace sink, begins CPU profiling, launches the
+// progress reporter (writing to progressW), starts the runtime sampler,
+// and brings up the telemetry server as requested by the flags. The
+// server (and sampler) come up before the instrumented work begins, so
+// /healthz answers for the whole run. Call Finish when the work is done.
 func (c *CLI) Start(progressW io.Writer) error {
 	if c.TraceOut != "" {
 		tw, closeFn, err := OpenTraceFile(c.TraceOut)
@@ -66,12 +78,24 @@ func (c *CLI) Start(progressW io.Writer) error {
 	if c.Progress {
 		c.stopProgress = StartProgress(c.Registry(), progressW, 2*time.Second)
 	}
+	if c.SampleEvery > 0 || c.ServeAddr != "" {
+		c.sampler = StartSampler(c.Registry(), SamplerOptions{Interval: c.SampleEvery})
+	}
+	if c.ServeAddr != "" {
+		srv, err := StartServer(c.ServeAddr, c.Registry(), ServerOptions{Sampler: c.sampler})
+		if err != nil {
+			return err
+		}
+		c.server = srv
+		fmt.Fprintf(progressW, "telemetry: serving http://%s/{metrics,healthz,progress,debug/pprof}\n", srv.Addr())
+	}
 	return nil
 }
 
-// Finish stops the progress reporter and CPU profiler, writes the heap
-// profile and metrics snapshot, and flushes the trace. Safe to call once
-// after Start (even a failed one).
+// Finish stops the progress reporter and CPU profiler, holds then closes
+// the telemetry server, stops the sampler, writes the heap profile and
+// metrics snapshot, and flushes the trace. Safe to call once after Start
+// (even a failed one).
 func (c *CLI) Finish() error {
 	if c.stopProgress != nil {
 		c.stopProgress()
@@ -79,9 +103,20 @@ func (c *CLI) Finish() error {
 	if c.stopCPU != nil {
 		c.stopCPU()
 	}
+	if c.server != nil && c.ServeHold > 0 {
+		time.Sleep(c.ServeHold)
+	}
 	var firstErr error
+	if c.server != nil {
+		if err := c.server.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	// Sampler after server: scrapes stay consistent to the end; the
+	// sampler's final tick still lands in the metrics file and trace.
+	c.sampler.Stop()
 	if c.MemProfile != "" {
-		if err := WriteHeapProfile(c.MemProfile); err != nil {
+		if err := WriteHeapProfile(c.MemProfile); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

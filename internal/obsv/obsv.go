@@ -133,8 +133,12 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
-// Quantile returns an upper bound on the q-quantile (q in [0, 1]): the
-// upper bound of the first bucket whose cumulative count reaches q·total.
+// Quantile returns an upper bound on the q-quantile: the upper bound of
+// the first bucket whose cumulative count reaches q·total. Edge behavior
+// is specified: an empty histogram returns 0 regardless of q, and q is
+// clamped to [0, 1] (q ≤ 0 locates the first non-empty bucket, q ≥ 1 the
+// last). Bucket bounds round-trip exactly at 0, 1, and the int64 maximum:
+// each lands in the bucket whose upper bound it is.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -142,6 +146,12 @@ func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
+	}
+	switch {
+	case q < 0 || q != q: // NaN clamps low
+		q = 0
+	case q > 1:
+		q = 1
 	}
 	target := int64(q * float64(total))
 	if target < 1 {
@@ -269,6 +279,12 @@ type Snapshot struct {
 }
 
 // Snapshot exports the registry's current state (empty when r is nil).
+// It is safe to call mid-build, concurrently with running instruments
+// and open spans — the /metrics and /progress endpoints do exactly that.
+// Spans still running snapshot with Running=true, a zero EndTime, and
+// their elapsed time so far; counters, gauges, and histograms read their
+// atomics without stopping writers, so a snapshot is per-instrument
+// consistent rather than a global atomic cut.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
 	if r == nil {
@@ -337,6 +353,16 @@ func (r *Registry) TakeSpans() []*Span {
 	spans := r.spans
 	r.spans = nil
 	return spans
+}
+
+// CurrentPath returns the slash-joined path of the most recently started
+// un-ended span ("" when idle or r is nil). The runtime sampler tags
+// each memory sample with it so heap growth is attributable to a phase.
+func (r *Registry) CurrentPath() string {
+	if r == nil {
+		return ""
+	}
+	return r.current.Load().Path()
 }
 
 // ProgressLine renders a one-line status for periodic progress output:

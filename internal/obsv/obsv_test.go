@@ -3,6 +3,7 @@ package obsv
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +77,143 @@ func TestCountersGaugesHistograms(t *testing.T) {
 	}
 	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 5 {
 		t.Fatalf("snapshot hists = %+v", snap.Histograms)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	const maxInt64 = int64(^uint64(0) >> 1)
+
+	t.Run("empty", func(t *testing.T) {
+		h := NewRegistry().Histogram("empty")
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	// Boundary values round-trip into the bucket whose upper bound they
+	// are: a histogram holding only v answers every quantile with
+	// bucketUpper(bucket(v)), which must be ≥ v and exact at bounds.
+	t.Run("bucket-bounds", func(t *testing.T) {
+		cases := []struct {
+			v    int64
+			want int64
+		}{
+			{-5, 0}, // negatives clamp to bucket 0
+			{0, 0},
+			{1, 1},
+			{2, 3},
+			{3, 3},
+			{4, 7},
+			{7, 7},
+			{8, 15},
+			{1 << 62, maxInt64},
+			{maxInt64, maxInt64},
+		}
+		for _, tc := range cases {
+			h := NewRegistry().Histogram("x")
+			h.Observe(tc.v)
+			for _, q := range []float64{0, 0.5, 0.99, 1} {
+				if got := h.Quantile(q); got != tc.want {
+					t.Errorf("hist{%d}.Quantile(%v) = %d, want %d", tc.v, q, got, tc.want)
+				}
+			}
+		}
+	})
+
+	t.Run("clamping", func(t *testing.T) {
+		h := NewRegistry().Histogram("x")
+		h.Observe(1)
+		h.Observe(1000)
+		if lo, hi := h.Quantile(-3), h.Quantile(0); lo != hi {
+			t.Errorf("Quantile(-3) = %d, Quantile(0) = %d; negative q must clamp", lo, hi)
+		}
+		if lo, hi := h.Quantile(99), h.Quantile(1); lo != hi {
+			t.Errorf("Quantile(99) = %d, Quantile(1) = %d; q > 1 must clamp", lo, hi)
+		}
+		if h.Quantile(1) < 1000 {
+			t.Errorf("Quantile(1) = %d, want ≥ 1000", h.Quantile(1))
+		}
+	})
+}
+
+// TestRegistryConcurrentHammer drives every concurrently-used surface of
+// one registry at once — counters, gauges, histograms, span trees, trace
+// emission, and mid-flight Snapshot/ProgressLine/WriteProm readers — and
+// relies on `go test -race ./internal/obsv` to catch ordering bugs.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	var sink bytes.Buffer
+	r.SetTrace(NewTraceWriter(&sink))
+	root := r.StartSpan("build")
+
+	const writers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := r.Trace()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(int64(i))
+				tr.Emit(NodeEvent{Ev: "node", Node: int64(w*iters + i)})
+				if i%100 == 0 {
+					s := root.Child("worker")
+					s.AddRowsIn(1)
+					s.End()
+				}
+			}
+		}()
+	}
+	// Concurrent readers: what /metrics and /progress do mid-build.
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Snapshot()
+				if err := WriteProm(io.Discard, snap); err != nil {
+					t.Errorf("WriteProm: %v", err)
+					return
+				}
+				_ = r.ProgressLine()
+				_ = r.CurrentPath()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := r.Trace().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("c").Value(); got != writers*iters {
+		t.Fatalf("counter = %d, want %d", got, writers*iters)
+	}
+	if got := r.Trace().Events(); got < writers*iters {
+		t.Fatalf("trace events = %d, want ≥ %d", got, writers*iters)
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Running {
+		t.Fatalf("final snapshot spans = %+v", snap.Spans)
+	}
+}
+
+func TestSpanRetentionCap(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxRetainedRootSpans+10; i++ {
+		r.StartSpan("query.node").End()
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != maxRetainedRootSpans {
+		t.Fatalf("retained %d spans, want cap %d", len(snap.Spans), maxRetainedRootSpans)
+	}
+	if got := r.Counter("obsv.spans_dropped").Value(); got != 10 {
+		t.Fatalf("spans_dropped = %d, want 10", got)
 	}
 }
 

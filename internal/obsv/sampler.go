@@ -1,0 +1,214 @@
+package obsv
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BudgetGaugeName is the gauge the partitioned build path sets to its
+// declared memory budget (core.Options.MemoryBudget); the sampler reads
+// it every tick to decide whether heap-in-use violates §4's budget rule.
+const BudgetGaugeName = "build.mem_budget_bytes"
+
+// MemSample is one runtime sampler observation.
+type MemSample struct {
+	Time         time.Time `json:"time"`
+	HeapInuse    uint64    `json:"heap_inuse"`
+	HeapAlloc    uint64    `json:"heap_alloc"`
+	Goroutines   int       `json:"goroutines"`
+	NumGC        uint32    `json:"num_gc"`
+	GCPauseNanos uint64    `json:"gc_pause_total_ns"`
+	Span         string    `json:"span,omitempty"`
+}
+
+// SamplerOptions configures a runtime sampler.
+type SamplerOptions struct {
+	// Interval between samples (default 250ms).
+	Interval time.Duration
+	// Capacity of the in-memory ring buffer (default 960 samples — four
+	// minutes at the default interval).
+	Capacity int
+	// Budget overrides the registry's build.mem_budget_bytes gauge as
+	// the heap budget (bytes); ≤ 0 defers to the gauge.
+	Budget int64
+}
+
+// Sampler periodically samples runtime.MemStats into a ring-buffer time
+// series, mirrors the latest values into registry gauges (runtime.*, so
+// they ride along in /metrics and -metrics-out), tags each sample with
+// the span path running at sample time, and — when a memory budget is
+// declared — emits a mem_budget trace event at every budget crossing.
+// The nil Sampler is a valid no-op.
+type Sampler struct {
+	reg  *Registry
+	opts SamplerOptions
+
+	gHeapInuse  *Gauge
+	gHeapAlloc  *Gauge
+	gGoroutines *Gauge
+	gNumGC      *Gauge
+	gGCPause    *Gauge
+
+	mu   sync.Mutex
+	ring []MemSample
+	next int
+	full bool
+	over bool // heap currently above budget
+
+	count    atomic.Int64
+	done     chan struct{}
+	finished chan struct{}
+}
+
+// StartSampler launches a runtime sampler attached to reg (nil when reg
+// is nil). Call Stop when done; the final tick runs at Stop so even work
+// shorter than one interval yields at least one sample.
+func StartSampler(reg *Registry, opts SamplerOptions) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 250 * time.Millisecond
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 960
+	}
+	s := &Sampler{
+		reg:         reg,
+		opts:        opts,
+		gHeapInuse:  reg.Gauge("runtime.heap_inuse_bytes"),
+		gHeapAlloc:  reg.Gauge("runtime.heap_alloc_bytes"),
+		gGoroutines: reg.Gauge("runtime.goroutines"),
+		gNumGC:      reg.Gauge("runtime.gc_count"),
+		gGCPause:    reg.Gauge("runtime.gc_pause_total_ns"),
+		ring:        make([]MemSample, opts.Capacity),
+		done:        make(chan struct{}),
+		finished:    make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.finished)
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.done:
+			s.sample()
+			return
+		}
+	}
+}
+
+// sample takes one observation: ReadMemStats, gauge mirror, ring append,
+// trace emission, budget check.
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sm := MemSample{
+		Time:         time.Now(),
+		HeapInuse:    ms.HeapInuse,
+		HeapAlloc:    ms.HeapAlloc,
+		Goroutines:   runtime.NumGoroutine(),
+		NumGC:        ms.NumGC,
+		GCPauseNanos: ms.PauseTotalNs,
+		Span:         s.reg.CurrentPath(),
+	}
+	s.gHeapInuse.Set(int64(sm.HeapInuse))
+	s.gHeapAlloc.Set(int64(sm.HeapAlloc))
+	s.gGoroutines.Set(int64(sm.Goroutines))
+	s.gNumGC.Set(int64(sm.NumGC))
+	s.gGCPause.Set(int64(sm.GCPauseNanos))
+
+	s.mu.Lock()
+	s.ring[s.next] = sm
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+	over := s.over
+	s.mu.Unlock()
+	s.count.Add(1)
+
+	tr := s.reg.Trace()
+	tr.Emit(MemSampleEvent{
+		Ev:           "mem_sample",
+		HeapInuse:    sm.HeapInuse,
+		HeapAlloc:    sm.HeapAlloc,
+		Goroutines:   sm.Goroutines,
+		NumGC:        sm.NumGC,
+		GCPauseNanos: sm.GCPauseNanos,
+		Span:         sm.Span,
+	})
+
+	budget := s.opts.Budget
+	if budget <= 0 {
+		budget = s.reg.Gauge(BudgetGaugeName).Value()
+	}
+	if budget <= 0 {
+		return
+	}
+	nowOver := sm.HeapInuse > uint64(budget)
+	if nowOver == over {
+		return
+	}
+	s.mu.Lock()
+	s.over = nowOver
+	s.mu.Unlock()
+	dir := "below"
+	if nowOver {
+		dir = "above"
+		s.reg.Counter("runtime.mem_budget_exceeded").Inc()
+	}
+	tr.Emit(MemBudgetEvent{
+		Ev:        "mem_budget",
+		Dir:       dir,
+		HeapInuse: sm.HeapInuse,
+		Budget:    budget,
+		Span:      sm.Span,
+	})
+}
+
+// Stop takes a final sample and terminates the sampler (no-op on nil).
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	<-s.finished
+}
+
+// Samples returns the number of observations taken so far (0 for nil).
+func (s *Sampler) Samples() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Series returns the retained samples in chronological order (nil for
+// the nil Sampler). The slice is a copy.
+func (s *Sampler) Series() []MemSample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]MemSample{}, s.ring[:s.next]...)
+	}
+	out := make([]MemSample, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	return append(out, s.ring[:s.next]...)
+}

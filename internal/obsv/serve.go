@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// ServerOptions configures the telemetry HTTP server.
+type ServerOptions struct {
+	// Sampler, when set, contributes its time series to /progress.
+	Sampler *Sampler
+	// ProgressInterval is the SSE emission cadence (default 1s).
+	ProgressInterval time.Duration
+}
+
+// Server is the opt-in live telemetry plane of a build or query process:
+//
+//	GET /metrics       Prometheus text exposition of the registry
+//	GET /healthz       liveness ("ok")
+//	GET /progress      JSON: progress line, snapshot, sampler series
+//	GET /progress      (Accept: text/event-stream or ?stream=1) SSE
+//	                   stream of progress lines
+//	GET /debug/pprof/  the standard pprof handlers
+//
+// It serves snapshots of a live registry, so everything works mid-build;
+// nothing here blocks or slows the instrumented work beyond the snapshot
+// cost per scrape.
+type Server struct {
+	reg      *Registry
+	smp      *Sampler
+	interval time.Duration
+	start    time.Time
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// StartServer listens on addr (host:port, ":0" picks a free port) and
+// serves the registry's telemetry until Close. An error is returned only
+// for listen failures; serve errors after startup are dropped (the
+// telemetry plane must never fail the build).
+func StartServer(addr string, reg *Registry, opts ServerOptions) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obsv: serve needs a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:      reg,
+		smp:      opts.Sampler,
+		interval: opts.ProgressInterval,
+		start:    time.Now(),
+		ln:       ln,
+	}
+	if s.interval <= 0 {
+		s.interval = time.Second
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's actual listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, dropping open SSE streams (no-op on nil).
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteProm(w, s.reg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// progressJSON is the /progress JSON document.
+type progressJSON struct {
+	ElapsedSec float64     `json:"elapsed_sec"`
+	Progress   string      `json:"progress"`
+	Snapshot   *Snapshot   `json:"snapshot"`
+	MemSeries  []MemSample `json:"mem_series,omitempty"`
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") || r.URL.Query().Get("stream") != "" {
+		s.streamProgress(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(progressJSON{
+		ElapsedSec: time.Since(s.start).Seconds(),
+		Progress:   s.reg.ProgressLine(),
+		Snapshot:   s.reg.Snapshot(),
+		MemSeries:  s.smp.Series(),
+	})
+}
+
+// streamProgress emits one SSE "progress" event per interval carrying
+// the registry's progress line, until the client hangs up.
+func (s *Server) streamProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func() bool {
+		_, err := fmt.Fprintf(w, "event: progress\ndata: [%7.1fs] %s\n\n",
+			time.Since(s.start).Seconds(), s.reg.ProgressLine())
+		fl.Flush()
+		return err == nil
+	}
+	if !emit() {
+		return
+	}
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}

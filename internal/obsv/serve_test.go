@@ -1,0 +1,260 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerSamplesAndTagsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.SetTrace(NewTraceWriter(&buf))
+	sp := r.StartSpan("build")
+	child := sp.Child("partition.cube")
+	s := StartSampler(r, SamplerOptions{Interval: 5 * time.Millisecond})
+	for s.Samples() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	child.End()
+	sp.End()
+	if err := r.Trace().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	series := s.Series()
+	if len(series) < 3 {
+		t.Fatalf("series = %d samples, want ≥ 3", len(series))
+	}
+	for i, sm := range series {
+		if sm.HeapInuse == 0 || sm.Goroutines == 0 {
+			t.Fatalf("sample %d has zero runtime stats: %+v", i, sm)
+		}
+		if sm.Span != "build/partition.cube" {
+			t.Fatalf("sample %d span = %q", i, sm.Span)
+		}
+		if i > 0 && sm.Time.Before(series[i-1].Time) {
+			t.Fatalf("series out of order at %d", i)
+		}
+	}
+	if r.Gauge("runtime.heap_inuse_bytes").Value() == 0 {
+		t.Fatal("sampler did not mirror gauges")
+	}
+	var memSamples int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Ev   string `json:"ev"`
+			Span string `json:"span"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v", err)
+		}
+		if ev.Ev == "mem_sample" {
+			memSamples++
+		}
+	}
+	if memSamples < 3 {
+		t.Fatalf("trace has %d mem_sample events, want ≥ 3", memSamples)
+	}
+
+	var nilS *Sampler
+	nilS.Stop()
+	if nilS.Samples() != 0 || nilS.Series() != nil {
+		t.Fatal("nil sampler not inert")
+	}
+	if StartSampler(nil, SamplerOptions{}) != nil {
+		t.Fatal("sampler on nil registry should be nil")
+	}
+}
+
+func TestSamplerBudgetCrossing(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.SetTrace(NewTraceWriter(&buf))
+	// A 1-byte budget guarantees heap-in-use is above it: the first
+	// sample must record the crossing, and only once (edge-triggered).
+	r.Gauge(BudgetGaugeName).Set(1)
+	s := StartSampler(r, SamplerOptions{Interval: 2 * time.Millisecond})
+	for s.Samples() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if err := r.Trace().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var crossings int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev MemBudgetEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Ev != "mem_budget" {
+			continue
+		}
+		crossings++
+		if ev.Dir != "above" || ev.Budget != 1 || ev.HeapInuse <= 1 {
+			t.Fatalf("mem_budget event = %+v", ev)
+		}
+	}
+	if crossings != 1 {
+		t.Fatalf("crossings = %d, want exactly 1 (edge-triggered)", crossings)
+	}
+	if r.Counter("runtime.mem_budget_exceeded").Value() != 1 {
+		t.Fatal("mem_budget_exceeded counter not bumped")
+	}
+}
+
+func startTestServer(t *testing.T, r *Registry, opts ServerOptions) *Server {
+	t.Helper()
+	srv, err := StartServer("127.0.0.1:0", r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("partition.bytes_read").Add(777)
+	sp := r.StartSpan("build") // left running: snapshots must be clean mid-build
+	defer sp.End()
+	smp := StartSampler(r, SamplerOptions{Interval: 2 * time.Millisecond})
+	defer smp.Stop()
+	srv := startTestServer(t, r, ServerOptions{Sampler: smp, ProgressInterval: 5 * time.Millisecond})
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	metrics, err := ParseProm(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not valid Prometheus text: %v\n%s", err, body)
+	}
+	if metrics["cure_partition_bytes_read"].Value != 777 {
+		t.Fatalf("metrics = %v", body)
+	}
+	if _, ok := metrics[`cure_span_elapsed_seconds{path="build"}`]; !ok {
+		t.Fatalf("running span missing from exposition:\n%s", body)
+	}
+
+	for smp.Samples() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	code, body = get(t, base+"/progress")
+	if code != 200 {
+		t.Fatalf("/progress = %d", code)
+	}
+	var pj struct {
+		ElapsedSec float64     `json:"elapsed_sec"`
+		Progress   string      `json:"progress"`
+		Snapshot   *Snapshot   `json:"snapshot"`
+		MemSeries  []MemSample `json:"mem_series"`
+	}
+	if err := json.Unmarshal([]byte(body), &pj); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if !strings.Contains(pj.Progress, "phase=build") || pj.Snapshot == nil || len(pj.MemSeries) == 0 {
+		t.Fatalf("/progress = %+v", pj)
+	}
+	if len(pj.Snapshot.Spans) != 1 || !pj.Snapshot.Spans[0].Running || !pj.Snapshot.Spans[0].EndTime.IsZero() {
+		t.Fatalf("running span snapshot = %+v", pj.Snapshot.Spans)
+	}
+
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServerProgressSSE(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("build")
+	defer sp.End()
+	r.Counter("core.sort.rows").Add(5)
+	srv := startTestServer(t, r, ServerOptions{ProgressInterval: 5 * time.Millisecond})
+
+	req, err := http.NewRequest("GET", "http://"+srv.Addr()+"/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var events, datas int
+	for sc.Scan() && datas < 3 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: progress") {
+			events++
+		}
+		if strings.HasPrefix(line, "data: ") {
+			datas++
+			if !strings.Contains(line, "phase=build") {
+				t.Fatalf("SSE data line %q missing progress content", line)
+			}
+		}
+	}
+	if events < 3 || datas < 3 {
+		t.Fatalf("SSE stream yielded %d events / %d data lines", events, datas)
+	}
+}
+
+func TestCLIServeFlags(t *testing.T) {
+	c := &CLI{ServeAddr: "127.0.0.1:0", SampleEvery: 2 * time.Millisecond}
+	var diag bytes.Buffer
+	if err := c.Start(&diag); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry() == nil {
+		t.Fatal("serve flag did not create a registry")
+	}
+	c.Registry().Counter("core.segments").Add(3)
+	addr := c.server.Addr()
+	if code, _ := get(t, fmt.Sprintf("http://%s/healthz", addr)); code != 200 {
+		t.Fatalf("healthz during CLI session = %d", code)
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if c.sampler.Samples() == 0 {
+		t.Fatal("CLI sampler took no samples")
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("server still up after Finish")
+	}
+	if !strings.Contains(diag.String(), "telemetry: serving") {
+		t.Fatalf("diag output = %q", diag.String())
+	}
+}

@@ -28,6 +28,13 @@ type Span struct {
 	ended    bool
 }
 
+// maxRetainedRootSpans bounds how many root spans a registry keeps for
+// snapshotting. Builds open a handful of root spans, but a long-lived
+// query engine opens one per query; past the cap, spans still run, time
+// themselves, and emit trace events — they are just not retained (the
+// obsv.spans_dropped counter records how many).
+const maxRetainedRootSpans = 4096
+
 // StartSpan opens a new root span (nil when r is nil).
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
@@ -35,9 +42,15 @@ func (r *Registry) StartSpan(name string) *Span {
 	}
 	s := &Span{reg: r, name: name, start: time.Now()}
 	r.mu.Lock()
-	r.spans = append(r.spans, s)
+	retained := len(r.spans) < maxRetainedRootSpans
+	if retained {
+		r.spans = append(r.spans, s)
+	}
 	r.mu.Unlock()
 	r.current.Store(s)
+	if !retained {
+		r.Counter("obsv.spans_dropped").Inc()
+	}
 	return s
 }
 
@@ -61,14 +74,19 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	elapsed := int64(time.Since(s.start))
 	s.mu.Lock()
 	if s.ended {
 		s.mu.Unlock()
 		return
 	}
+	// The frozen duration is published before the ended flag, under the
+	// same lock that Elapsed and snapshot take: a concurrent Snapshot
+	// (the /metrics and /progress endpoints call it mid-build) either
+	// sees a running span or a fully frozen one, never ended-with-zero.
+	s.nanos.Store(elapsed)
 	s.ended = true
 	s.mu.Unlock()
-	s.nanos.Store(int64(time.Since(s.start)))
 	s.reg.current.CompareAndSwap(s, s.parent)
 	if tr := s.reg.Trace(); tr != nil {
 		tr.Emit(SpanEvent{
@@ -96,6 +114,16 @@ func (s *Span) Elapsed() time.Duration {
 		return time.Duration(s.nanos.Load())
 	}
 	return time.Since(s.start)
+}
+
+// Running reports whether the span is still open (false for nil).
+func (s *Span) Running() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.ended
 }
 
 // Name returns the span's name ("" for the nil Span).
@@ -156,9 +184,15 @@ func (s *Span) Children() []*Span {
 	return append([]*Span{}, s.children...)
 }
 
-// SpanSnapshot is the exported state of one span subtree.
+// SpanSnapshot is the exported state of one span subtree. Snapshots may
+// be taken mid-build (the /metrics and /progress endpoints do): a span
+// still running carries Running=true, a zero EndTime, and its elapsed
+// time so far; an ended span carries its frozen end time and duration.
 type SpanSnapshot struct {
 	Name         string         `json:"name"`
+	StartTime    time.Time      `json:"start_time"`
+	EndTime      time.Time      `json:"end_time,omitempty"` // zero while running
+	Running      bool           `json:"running,omitempty"`
 	ElapsedSec   float64        `json:"elapsed_sec"`
 	RowsIn       int64          `json:"rows_in,omitempty"`
 	RowsOut      int64          `json:"rows_out,omitempty"`
@@ -168,13 +202,24 @@ type SpanSnapshot struct {
 }
 
 func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	ended := s.ended
+	s.mu.Unlock()
 	ss := SpanSnapshot{
 		Name:         s.name,
-		ElapsedSec:   s.Elapsed().Seconds(),
+		StartTime:    s.start,
+		Running:      !ended,
 		RowsIn:       s.rowsIn.Load(),
 		RowsOut:      s.rowsOut.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+	}
+	if ended {
+		d := time.Duration(s.nanos.Load())
+		ss.ElapsedSec = d.Seconds()
+		ss.EndTime = s.start.Add(d)
+	} else {
+		ss.ElapsedSec = time.Since(s.start).Seconds()
 	}
 	for _, c := range s.Children() {
 		ss.Children = append(ss.Children, c.snapshot())

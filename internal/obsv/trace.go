@@ -145,3 +145,30 @@ type PartitionEvent struct {
 	Rows  int64  `json:"rows"`
 	Bytes int64  `json:"bytes"`
 }
+
+// MemSampleEvent records one runtime sampler tick: heap occupancy, GC
+// state, and goroutine count, tagged with the span path that was running
+// when the sample was taken.
+type MemSampleEvent struct {
+	Ev           string `json:"ev"` // "mem_sample"
+	HeapInuse    uint64 `json:"heap_inuse"`
+	HeapAlloc    uint64 `json:"heap_alloc"`
+	Goroutines   int    `json:"goroutines"`
+	NumGC        uint32 `json:"num_gc"`
+	GCPauseNanos uint64 `json:"gc_pause_total_ns"`
+	Span         string `json:"span,omitempty"`
+}
+
+// MemBudgetEvent records the sampler observing heap-in-use crossing the
+// declared memory budget (the build.mem_budget_bytes gauge, set by the
+// partitioned build path from Options.MemoryBudget): Dir is "above" when
+// the crossing violates the budget and "below" when heap drops back
+// under it. §4's budget-adherence claim is externally checkable from
+// these events.
+type MemBudgetEvent struct {
+	Ev        string `json:"ev"` // "mem_budget"
+	Dir       string `json:"dir"`
+	HeapInuse uint64 `json:"heap_inuse"`
+	Budget    int64  `json:"budget"`
+	Span      string `json:"span,omitempty"`
+}

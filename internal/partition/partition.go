@@ -56,6 +56,10 @@ func SelectLevelObs(dim *hierarchy.Dim, rBytes, partBudget, nBudget int64, reg *
 		return LevelChoice{}, fmt.Errorf("partition: non-positive sizes (R=%d, M=%d, N budget=%d)", rBytes, partBudget, nBudget)
 	}
 	tr := reg.Trace()
+	// Declare the split of the build budget so heap samples taken during
+	// the partitioned phases can be judged against it from outside.
+	reg.Gauge("partition.budget.partition_bytes").Set(partBudget)
+	reg.Gauge("partition.budget.n_bytes").Set(nBudget)
 	need := (rBytes + partBudget - 1) / partBudget
 	if need < 1 {
 		need = 1

@@ -41,6 +41,9 @@ type Engine struct {
 	hLatency *obsv.Histogram
 	cQueries *obsv.Counter
 	cRows    *obsv.Counter
+	cTTScan  *obsv.Counter
+	cNTScan  *obsv.Counter
+	cCATScan *obsv.Counter
 }
 
 // Open opens a cube directory for querying.
@@ -63,7 +66,11 @@ func Open(dir string, opts Options) (*Engine, error) {
 		hLatency: opts.Metrics.Histogram("query.node.latency_us"),
 		cQueries: opts.Metrics.Counter("query.node.count"),
 		cRows:    opts.Metrics.Counter("query.rows"),
+		cTTScan:  opts.Metrics.Counter("query.scan.tt_rows"),
+		cNTScan:  opts.Metrics.Counter("query.scan.nt_rows"),
+		cCATScan: opts.Metrics.Counter("query.scan.cat_rows"),
 	}
+	opts.Metrics.Gauge("query.cache.fraction_pct").Set(int64(opts.CacheFraction * 100))
 	if opts.PinAggregates {
 		if e.aggRaw, err = r.AggregatesRaw(); err != nil {
 			e.Close()
@@ -122,9 +129,15 @@ func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	if e.reg == nil {
 		return e.nodeQuery(id, fn)
 	}
+	// Each instrumented query is a root span, so in-flight queries show
+	// up in /metrics and /progress next to build phases. The registry
+	// caps retained root spans, keeping long query workloads bounded.
+	sp := e.reg.StartSpan("query.node")
+	defer sp.End()
 	start := time.Now()
 	var rows int64
 	err := e.nodeQuery(id, func(r Row) error { rows++; return fn(r) })
+	sp.AddRowsOut(rows)
 	e.cQueries.Inc()
 	e.cRows.Add(rows)
 	e.hLatency.Observe(time.Since(start).Microseconds())
@@ -163,6 +176,15 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 		return nil
 	}
 
+	// Relation-scan accounting: tallied locally, added once per query
+	// (the counters are nil-safe no-ops without a registry).
+	var ttScanned, ntScanned, catScanned int64
+	defer func() {
+		e.cTTScan.Add(ttScanned)
+		e.cNTScan.Add(ntScanned)
+		e.cCATScan.Add(catScanned)
+	}()
+
 	// 1. Trivial tuples: stored once at the least detailed node they
 	// belong to; collect them along the plan path (bounded to the
 	// partition subtree when the cube was built partitioned).
@@ -171,6 +193,7 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 		if err != nil {
 			return err
 		}
+		ttScanned += int64(len(ids))
 		for _, rrowid := range ids {
 			if err := project(rrowid); err != nil {
 				return err
@@ -193,6 +216,7 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 
 	// 2. Normal tuples.
 	if err := e.r.NTRows(id, func(nt storage.NTRow) error {
+		ntScanned++
 		if e.r.Manifest().DimsInline {
 			copy(row.Dims, nt.Dims)
 		} else if err := project(nt.RRowid); err != nil {
@@ -209,6 +233,7 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	// via the source row-id (carried by the CAT row under format (b), by
 	// the AGGREGATES tuple under format (a)).
 	return e.r.CATRows(id, func(cat storage.CATRow) error {
+		catScanned++
 		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
 		if err != nil {
 			return err
@@ -292,9 +317,12 @@ func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 	if e.reg == nil {
 		return e.icebergQuery(id, countAgg, minCount, fn)
 	}
+	sp := e.reg.StartSpan("query.iceberg")
+	defer sp.End()
 	start := time.Now()
 	var rows int64
 	err := e.icebergQuery(id, countAgg, minCount, func(r Row) error { rows++; return fn(r) })
+	sp.AddRowsOut(rows)
 	e.reg.Counter("query.iceberg.count").Inc()
 	e.cRows.Add(rows)
 	e.reg.Histogram("query.iceberg.latency_us").Observe(time.Since(start).Microseconds())
