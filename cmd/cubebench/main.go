@@ -28,6 +28,7 @@ func main() {
 		queries   = flag.Int("queries", 0, "node-query workload size (default 1000)")
 		seed      = flag.Int64("seed", 0, "random seed (default 1)")
 		maxDims   = flag.Int("maxdims", 0, "upper end of the dimensionality sweep (default 16; paper: 28)")
+		par       = flag.Int("parallelism", 0, "worker count for every CURE build (0/1 = sequential; parallel-speedup sweeps its own counts)")
 		workDir   = flag.String("workdir", "", "scratch directory (default: a temp dir, removed on exit)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		format    = flag.String("format", "text", "output format: text | md | json")
@@ -44,6 +45,7 @@ func main() {
 		Queries:      *queries,
 		Seed:         *seed,
 		MaxDims:      *maxDims,
+		Parallelism:  *par,
 		WorkDir:      *workDir,
 		Metrics:      obs.Registry(),
 	}

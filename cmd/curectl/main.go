@@ -194,6 +194,7 @@ func cmdBuild(args []string) {
 	dr := fs.Bool("dr", false, "CURE_DR: store NT dimension values inline")
 	flat := fs.Bool("flat", false, "FCURE: flat cube at base levels only")
 	iceberg := fs.Int64("iceberg", 0, "min-count threshold (iceberg cube)")
+	par := fs.Int("parallelism", 0, "worker count for the build (0/1 = sequential; >1 fans the cubing recursion across cores)")
 	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
 	if *fact == "" || *hierPath == "" || *out == "" {
@@ -219,6 +220,7 @@ func cmdBuild(args []string) {
 		DimsInline:   *dr,
 		Flat:         *flat,
 		Iceberg:      *iceberg,
+		Parallelism:  *par,
 		Metrics:      obs.Registry(),
 	})
 	if ferr := obs.Finish(); ferr != nil && err == nil {

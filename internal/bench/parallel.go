@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"cure/internal/core"
+	"cure/internal/gen"
+	"cure/internal/query"
+)
+
+// runParallel regenerates the segment-parallel scaling curve: the same
+// in-memory synthetic build at increasing worker counts, every parallel
+// cube equivalence-checked against the sequential one via node queries.
+// On a single-core host the speedup column hovers around 1× — which is
+// the honest measurement; the equivalence column must read yes
+// regardless of hardware.
+func (h *Harness) runParallel() (map[string]*Result, error) {
+	tuples := int(500_000 * h.cfg.Scale)
+	if tuples < 1000 {
+		tuples = 1000
+	}
+	ft, hier, err := gen.Synthetic(gen.SyntheticSpec{Dims: 8, Tuples: tuples, Zipf: 1.0, Seed: h.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "parallel-speedup",
+		Title:  "Segment-parallel in-memory build: worker scaling",
+		Header: []string{"workers", "build", "speedup", "equivalent"},
+		Notes: []string{fmt.Sprintf("synthetic D=8, %s tuples, zipf 1.0; equivalent = node-query equality vs 1 worker",
+			fmtCount(int64(tuples)))},
+	}
+	var refDir string
+	var refSec float64
+	for _, p := range []int{1, 2, 4, 8} {
+		dir := filepath.Join(h.cfg.WorkDir, fmt.Sprintf("parallel_%dw", p))
+		stats, err := h.buildCURE(dir, ft, hier, func(o *core.Options) { o.Parallelism = p })
+		if err != nil {
+			return nil, err
+		}
+		sec := stats.Elapsed.Seconds()
+		equivalent := "-"
+		if p == 1 {
+			refDir, refSec = dir, sec
+		} else {
+			same, err := cubesEquivalent(refDir, dir)
+			if err != nil {
+				return nil, err
+			}
+			equivalent = "yes"
+			if !same {
+				equivalent = "NO"
+			}
+		}
+		res.AddRow(fmt.Sprintf("%d", p), fmtDur(sec), fmt.Sprintf("%.2fx", refSec/sec), equivalent)
+	}
+	return map[string]*Result{"parallel-speedup": res}, nil
+}
+
+// cubesEquivalent reports whether two cubes answer every node query
+// identically.
+func cubesEquivalent(dirA, dirB string) (bool, error) {
+	a, err := query.OpenDefault(dirA)
+	if err != nil {
+		return false, err
+	}
+	defer a.Close()
+	b, err := query.OpenDefault(dirB)
+	if err != nil {
+		return false, err
+	}
+	defer b.Close()
+	rep, err := query.Diff(a, b)
+	if err != nil {
+		return false, err
+	}
+	return rep.Equal(), nil
+}

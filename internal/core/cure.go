@@ -13,7 +13,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"cure/internal/hierarchy"
@@ -64,12 +63,18 @@ type Options struct {
 	// P2, Figure 3) instead of CURE's tallest plan (P3) — the §3.1 plan
 	// ablation. In-memory builds only.
 	ShortPlan bool
-	// Parallelism is the number of concurrent partition workers in the
-	// out-of-core path (≤1 = sequential, the paper's setting). Each
-	// worker gets its own signature pool; parallel builds therefore fix
-	// the CAT format up front (format (b), or the NT fallback for a
-	// single aggregate) instead of deciding it from statistics — the
-	// formats differ only in size, never in correctness.
+	// Parallelism caps the number of concurrent workers for the whole
+	// build (≤1 = sequential, the paper's setting). It accelerates every
+	// path: multi-partition builds cube partition files concurrently,
+	// and after any root sort — the in-memory build, the node-N phase,
+	// and each partition's own recursion — the resulting runs fan out
+	// across the same worker budget (one shared semaphore caps the
+	// total, so nested sites never oversubscribe). Each worker owns a
+	// sorter and a shard of the signature-pool budget; parallel builds
+	// therefore fix the CAT format up front (format (b), or the NT
+	// fallback for a single aggregate) instead of deciding it from
+	// statistics — the formats differ only in size, never in
+	// correctness.
 	Parallelism int
 	// ForceFormat overrides the dynamic CAT-format decision.
 	ForceFormat signature.Format
@@ -115,6 +120,11 @@ type BuildStats struct {
 	Relations int
 	// Elapsed is the wall-clock build time.
 	Elapsed time.Duration
+
+	// workerPool accumulates the signature statistics of per-worker
+	// pools (partition workers and segment fan-out); Build folds it
+	// into Pool.
+	workerPool signature.Stats
 }
 
 // Build constructs the cube of the fact table at opts.FactPath following
@@ -205,7 +215,7 @@ func Build(opts Options) (*BuildStats, error) {
 	case poolCap == 0:
 		poolCap = DefaultPoolCapacity
 	}
-	if opts.Parallelism > 1 && !inMemory && opts.ForceFormat == signature.FormatUndecided {
+	if opts.Parallelism > 1 && opts.ForceFormat == signature.FormatUndecided {
 		// Independent worker pools cannot share the dynamic format
 		// decision; pin the always-correct format up front.
 		if len(opts.AggSpecs) == 1 {
@@ -222,11 +232,16 @@ func Build(opts Options) (*BuildStats, error) {
 	pool.ForceFormat = opts.ForceFormat
 	pool.Metrics = reg
 
+	lim := newParLimiter(opts.Parallelism)
+	if lim != nil {
+		// Concurrent workers append through the shared writer.
+		w.Lock()
+	}
 	stats := &BuildStats{PartitionLevel: -1}
 	if inMemory {
-		err = buildInMemory(table, effHier, opts, pool, w, stats, root)
+		err = buildInMemory(table, effHier, opts, lim, pool, w, stats, root)
 	} else {
-		err = buildPartitioned(opts, effHier, rBytes, pool, w, stats, root)
+		err = buildPartitioned(opts, effHier, rBytes, lim, pool, w, stats, root)
 	}
 	if err != nil {
 		w.Abort()
@@ -244,7 +259,7 @@ func Build(opts Options) (*BuildStats, error) {
 		return nil, err
 	}
 	finSpan.End()
-	stats.Pool = pool.Stats()
+	stats.Pool = pool.Stats().Add(stats.workerPool)
 	stats.CatFormat = m.CatFormat
 	stats.Sizes = m.Sizes
 	stats.NodesMaterialized = len(m.Nodes)
@@ -318,13 +333,17 @@ func factRef(dir, factPath string) string {
 	return absFact
 }
 
-func buildInMemory(table *relation.FactTable, hier *hierarchy.Schema, opts Options, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+func buildInMemory(table *relation.FactTable, hier *hierarchy.Schema, opts Options, lim *parLimiter, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
 	span := root.Child("cube")
 	span.AddRowsIn(int64(table.Len()))
 	defer span.End()
 	ex := newExecutor(table, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, opts.Metrics)
 	ex.shortPlan = opts.ShortPlan
-	return ex.run(stats)
+	attachPar(ex, lim, span, &opts)
+	if err := ex.run(stats); err != nil {
+		return err
+	}
+	return ex.finishPar(stats)
 }
 
 // partitionReadBytes charges the phase-1 re-read of a partition file to
@@ -339,7 +358,7 @@ func partitionReadBytes(reg *obsv.Registry, path string) {
 	}
 }
 
-func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, lim *parLimiter, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
 	reg := opts.Metrics
 	// Memory split: half the budget for a loaded partition, a quarter
 	// for node N (the signature pool and sort scratch take the rest).
@@ -351,7 +370,7 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 		// dimensions when no single level of dimension 0 is feasible.
 		if hier.NumDims() >= 2 {
 			if pairChoice, perr := partition.SelectLevelPair(hier.Dims[0], hier.Dims[1], rBytes, partBudget, nBudget); perr == nil {
-				return buildPartitionedPair(opts, hier, pairChoice, pool, w, stats, root)
+				return buildPartitionedPair(opts, hier, pairChoice, lim, pool, w, stats, root)
 			}
 		}
 		return err
@@ -379,8 +398,8 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 	// are cubed by concurrent workers, each with its own signature pool
 	// (the writer serializes the actual appends).
 	cubeSpan := root.Child("partition.cube")
-	if opts.Parallelism > 1 {
-		if err := runPartitionsParallel(res.PartitionPaths, L, hier, opts, pool, w, stats, cubeSpan); err != nil {
+	if lim != nil {
+		if err := runPartitionsParallel(res.PartitionPaths, L, hier, opts, lim, w, stats, cubeSpan); err != nil {
 			return err
 		}
 	} else {
@@ -412,102 +431,72 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, pool *
 		defer nSpan.End()
 		ex := newExecutor(res.N, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		ex.baseLevel[0] = L + 1
-		return ex.run(stats)
+		attachPar(ex, lim, nSpan, &opts)
+		if err := ex.run(stats); err != nil {
+			return err
+		}
+		return ex.finishPar(stats)
 	}
 	return nil
 }
 
-// runPartitionsParallel cubes the partitions with a bounded worker pool.
-// Each worker owns a signature pool (flushed when its partition is done)
-// so classification needs no cross-worker coordination; the shared writer
-// is armed for locking. Trivial-tuple counts merge into stats at the end.
-func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, opts Options, mainPool *signature.Pool, w *storage.Writer, stats *BuildStats, cubeSpan *obsv.Span) error {
-	w.Lock()
+// runPartitionsParallel cubes the partitions on the shared worker
+// budget. Each task owns a signature pool (flushed when its partition
+// is done) so classification needs no cross-worker coordination; the
+// shared writer is already armed for locking, and a task's executor may
+// itself fan out whenever limiter slots are idle (fewer partitions than
+// workers, or a skewed straggler). Work is claimed from an atomic
+// counter, not a channel — the old channel-fed pool deadlocked when
+// every worker had errored and returned while the producer still
+// blocked on the unbuffered jobs channel. Errors from all partitions
+// are aggregated with errors.Join, each wrapped with its path.
+func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, opts Options, lim *parLimiter, w *storage.Writer, stats *BuildStats, cubeSpan *obsv.Span) error {
 	reg := opts.Metrics
-	workers := opts.Parallelism
-	if workers > len(paths) {
-		workers = len(paths)
+	poolCap := shardedPoolCap(&opts)
+	type taskResult struct {
+		tts  int64
+		pool signature.Stats
 	}
-	poolCap := opts.PoolCapacity
-	switch {
-	case poolCap == NoPool:
-		poolCap = 0
-	case poolCap == 0:
-		poolCap = DefaultPoolCapacity
-	}
-	// Split the signature budget across workers so parallel builds honor
-	// roughly the same memory envelope as sequential ones.
-	if poolCap > 0 {
-		poolCap = poolCap / workers
-		if poolCap < 1024 {
-			poolCap = 1024
+	results := make([]taskResult, len(paths))
+	err := runTasks(lim, len(paths), func(slot, i int) error {
+		pp := paths[i]
+		pt, err := relation.ReadFactFile(pp)
+		if err != nil {
+			return fmt.Errorf("core: partition %s: %w", pp, err)
 		}
-	}
-
-	type result struct {
-		tts int64
-		err error
-	}
-	jobs := make(chan string)
-	results := make(chan result, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var tts int64
-			for pp := range jobs {
-				pt, err := relation.ReadFactFile(pp)
-				if err != nil {
-					results <- result{tts, err}
-					return
-				}
-				partitionReadBytes(reg, pp)
-				if pt.Len() == 0 {
-					continue
-				}
-				pool, err := signature.NewPool(len(opts.AggSpecs), poolCap, w)
-				if err != nil {
-					results <- result{tts, err}
-					return
-				}
-				pool.ForceFormat = opts.ForceFormat
-				pool.Metrics = reg
-				ps := cubeSpan.Child("part")
-				ps.AddRowsIn(int64(pt.Len()))
-				ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
-				var local BuildStats
-				if err := ex.runPartition(level, &local); err != nil {
-					results <- result{tts, err}
-					return
-				}
-				if err := pool.Flush(); err != nil {
-					results <- result{tts, err}
-					return
-				}
-				ps.End()
-				tts += local.TTs
-			}
-			results <- result{tts, nil}
-		}()
-	}
-	for _, pp := range paths {
-		jobs <- pp
-	}
-	close(jobs)
-	wg.Wait()
-	close(results)
-	var firstErr error
-	for r := range results {
+		partitionReadBytes(reg, pp)
+		if pt.Len() == 0 {
+			return nil
+		}
+		pool, err := signature.NewPool(len(opts.AggSpecs), poolCap, w)
+		if err != nil {
+			return fmt.Errorf("core: partition %s: %w", pp, err)
+		}
+		pool.ForceFormat = opts.ForceFormat
+		pool.Metrics = reg
+		ps := cubeSpan.Child("part")
+		ps.AddRowsIn(int64(pt.Len()))
+		ex := newExecutor(pt, hier, opts.AggSpecs, -1, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
+		attachPar(ex, lim, ps, &opts)
+		var local BuildStats
+		if err := ex.runPartition(level, &local); err != nil {
+			return fmt.Errorf("core: partition %s: %w", pp, err)
+		}
+		if err := ex.finishPar(&local); err != nil {
+			return fmt.Errorf("core: partition %s: %w", pp, err)
+		}
+		if err := pool.Flush(); err != nil {
+			return fmt.Errorf("core: partition %s: %w", pp, err)
+		}
+		ps.End()
+		results[i] = taskResult{tts: local.TTs, pool: pool.Stats().Add(local.workerPool)}
+		return nil
+	})
+	for _, r := range results {
 		stats.TTs += r.tts
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
+		stats.workerPool = stats.workerPool.Add(r.pool)
 	}
-	// The main pool serves the N phase; pin its format to match the
-	// workers' so the shared AGGREGATES stays consistent.
-	mainPool.ForceFormat = opts.ForceFormat
-	return firstErr
+	return err
 }
 
 // buildPartitionedPair is the out-of-core path when partitioning needs a
@@ -515,7 +504,7 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 // {A_L, B_M} cover the nodes with both dimensions at fine levels; the
 // in-memory node N1 covers dimension 0 above L; N2 covers the remaining
 // nodes (dimension 0 fine, dimension 1 above M).
-func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
+func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, lim *parLimiter, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
 	reg := opts.Metrics
 	splitSpan := root.Child("partition.split")
 	res, err := partition.PartitionPair(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
@@ -563,7 +552,11 @@ func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition
 		nSpan.AddRowsIn(int64(res.N1.Len()))
 		ex := newExecutor(res.N1, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
 		ex.baseLevel[0] = L + 1
+		attachPar(ex, lim, nSpan, &opts)
 		if err := ex.run(stats); err != nil {
+			return err
+		}
+		if err := ex.finishPar(stats); err != nil {
 			return err
 		}
 	}
@@ -572,10 +565,14 @@ func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition
 	if res.N2.Len() > 0 {
 		nSpan.AddRowsIn(int64(res.N2.Len()))
 		ex := newExecutor(res.N2, hier, res.NSpecs, res.NCountCol, pool, w, opts.Iceberg, opts.ForceQuickSort, reg)
+		attachPar(ex, lim, nSpan, &opts)
 		for la := 0; la <= L; la++ {
 			if err := ex.runN2Root(la, M+1, stats); err != nil {
 				return err
 			}
+		}
+		if err := ex.finishPar(stats); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -69,6 +69,12 @@ type executor struct {
 	aggBuf    []float64
 	ttWritten *int64
 
+	// par, when non-nil, fans the runs of every full-table root sort out
+	// across a bounded worker pool (see parallel.go). Worker executors
+	// cloned from this one always have par == nil: their segments are
+	// strict subranges, cubed inline.
+	par *parCtx
+
 	// Instrumentation: nil-safe counters (no-ops without a registry) and
 	// an optional plan-traversal trace sink.
 	tr            *obsv.TraceWriter
@@ -258,6 +264,13 @@ func (ex *executor) followEdge(lo, hi, dim int, edge edgeKind) error {
 			Level: ex.levels[dim],
 			Rows:  len(seg),
 		})
+	}
+	if ex.par != nil && lo == 0 && hi == len(ex.idx) {
+		// A root sort over the whole table: its runs are independent
+		// subproblems, so fan them out instead of recursing inline.
+		if handled, err := ex.fanOut(dim, key); handled {
+			return err
+		}
 	}
 	runLo := 0
 	for runLo < len(seg) {

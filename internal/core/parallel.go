@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cure/internal/obsv"
+	"cure/internal/signature"
+	"cure/internal/sortutil"
+)
+
+// parLimiter caps the extra goroutines a build may run beyond the ones
+// that already own its phases. One limiter is shared by every parallel
+// site — partition workers, the in-memory root fan-out, the node-N
+// phase, and the nested fan-out inside each partition — so total
+// concurrency never exceeds Options.Parallelism no matter how the
+// sites compose.
+type parLimiter struct {
+	slots chan struct{}
+}
+
+// newParLimiter returns the limiter for a build, or nil (sequential
+// everywhere) when the requested parallelism allows no extra workers.
+func newParLimiter(parallelism int) *parLimiter {
+	if parallelism <= 1 {
+		return nil
+	}
+	l := &parLimiter{slots: make(chan struct{}, parallelism-1)}
+	for i := 0; i < parallelism-1; i++ {
+		l.slots <- struct{}{}
+	}
+	return l
+}
+
+// tryAcquire claims one extra-worker slot without blocking. The nil
+// limiter never grants one, which is what makes sequential builds take
+// the inline path at every site.
+func (l *parLimiter) tryAcquire() bool {
+	if l == nil {
+		return false
+	}
+	select {
+	case <-l.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *parLimiter) release() { l.slots <- struct{}{} }
+
+// maxSlots is the worker-state capacity a site must provision: slot 0
+// is the calling goroutine, slots 1..cap(slots) are limiter grants.
+func (l *parLimiter) maxSlots() int {
+	if l == nil {
+		return 1
+	}
+	return cap(l.slots) + 1
+}
+
+// runTasks runs task(slot, i) for every i in [0, n). The calling
+// goroutine is slot 0 and always participates; up to n-1 helpers join
+// on limiter grants. Work is claimed from a shared atomic counter —
+// there is no channel hand-off, so a failing worker cannot strand a
+// producer the way a jobs-channel pool can. The first error stops new
+// claims; every error that did occur is reported via errors.Join.
+func runTasks(lim *parLimiter, n int, task func(slot, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, n)
+	loop := func(slot int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := task(slot, i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}
+	}
+	extra := 0
+	for extra < n-1 && lim.tryAcquire() {
+		extra++
+	}
+	var wg sync.WaitGroup
+	for s := 1; s <= extra; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			defer lim.release()
+			loop(slot)
+		}(s)
+	}
+	loop(0)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// segRun is one run of equal key codes in a freshly sorted root
+// segment — an independent subproblem of the Figure 13 recursion.
+type segRun struct{ lo, hi int }
+
+// parCtx is one executor's fan-out state: the build-wide limiter, the
+// span that parents the per-batch "seg" spans, and the lazily built
+// per-slot worker executors.
+type parCtx struct {
+	lim      *parLimiter
+	span     *obsv.Span
+	reg      *obsv.Registry
+	poolCap  int          // per-worker signature-pool capacity (pre-sharded)
+	batching int          // target batches per fan-out (≈ 4 × parallelism)
+	workers  []*segWorker // slot-indexed; [0] stays nil (the owning executor)
+	runs     []segRun     // scratch, reused across fan-outs
+}
+
+// segWorker is one slot's private cubing state: a cloned executor that
+// shares the parent's fact table and index array (batches touch
+// disjoint subranges) but owns its sorter, level state, aggregate
+// scratch, and a sharded signature pool. Its trivial-tuple and pool
+// statistics merge into the parent's BuildStats in finishPar.
+type segWorker struct {
+	ex  *executor
+	tts int64
+}
+
+func (p *parCtx) newSegWorker(parent *executor) (*segWorker, error) {
+	pool, err := signature.NewPool(len(parent.specs), p.poolCap, parent.w)
+	if err != nil {
+		return nil, err
+	}
+	pool.ForceFormat = parent.pool.ForceFormat
+	pool.Metrics = p.reg
+	w := &segWorker{}
+	ex := &executor{
+		table:         parent.table,
+		hier:          parent.hier,
+		specs:         parent.specs,
+		enum:          parent.enum,
+		pool:          pool,
+		w:             parent.w,
+		countCol:      parent.countCol,
+		minCount:      parent.minCount,
+		shortPlan:     parent.shortPlan,
+		idx:           parent.idx,
+		levels:        make([]int, len(parent.levels)),
+		baseLevel:     make([]int, len(parent.baseLevel)),
+		aggBuf:        make([]float64, len(parent.specs)),
+		ttWritten:     &w.tts,
+		tr:            parent.tr,
+		cSortCounting: parent.cSortCounting,
+		cSortQuick:    parent.cSortQuick,
+		cSortRows:     parent.cSortRows,
+		cSegments:     parent.cSegments,
+		cTTPruned:     parent.cTTPruned,
+		cIcePruned:    parent.cIcePruned,
+	}
+	ex.sorter.ForceQuick = parent.sorter.ForceQuick
+	ex.sorter.ForceCounting = parent.sorter.ForceCounting
+	w.ex = ex
+	return w, nil
+}
+
+// fanOut distributes the runs of the freshly sorted full-table segment
+// across the worker pool: runs are packed into size-balanced batches
+// (longest first, so one hot run under skew fills a batch alone instead
+// of serializing the build) and each batch is cubed by one slot. The
+// false return means the segment collapsed to a single run and the
+// caller should recurse sequentially — the next dimension down offers
+// fan-out again through the same hook.
+func (ex *executor) fanOut(dim int, key sortutil.Keyer) (bool, error) {
+	p := ex.par
+	seg := ex.idx
+	p.runs = p.runs[:0]
+	lo := 0
+	for lo < len(seg) {
+		code := key.Key(seg[lo])
+		hi := lo + 1
+		for hi < len(seg) && key.Key(seg[hi]) == code {
+			hi++
+		}
+		p.runs = append(p.runs, segRun{lo, hi})
+		lo = hi
+	}
+	if len(p.runs) < 2 {
+		return false, nil
+	}
+	batches := batchRuns(p.runs, p.batching)
+	// Snapshot the traversal state workers must enter with: the parent
+	// executor keeps mutating its own levels while cubing slot 0's
+	// batches.
+	levels := append([]int(nil), ex.levels...)
+	base := append([]int(nil), ex.baseLevel...)
+	err := runTasks(p.lim, len(batches), func(slot, bi int) error {
+		wex := ex
+		if slot > 0 {
+			w := p.workers[slot]
+			if w == nil {
+				var werr error
+				if w, werr = p.newSegWorker(ex); werr != nil {
+					return werr
+				}
+				p.workers[slot] = w
+			}
+			copy(w.ex.levels, levels)
+			copy(w.ex.baseLevel, base)
+			wex = w.ex
+		}
+		var rows int64
+		for _, r := range batches[bi] {
+			rows += int64(r.hi - r.lo)
+		}
+		sp := p.span.Child("seg")
+		sp.AddRowsIn(rows)
+		defer sp.End()
+		for _, r := range batches[bi] {
+			if err := wex.executePlan(r.lo, r.hi, dim+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return true, err
+}
+
+// batchRuns packs runs into at most maxBatches size-balanced batches
+// (greedy longest-processing-time: biggest run first, into the lightest
+// batch). Oversubscribing the workers ~4× lets the dynamic claiming in
+// runTasks smooth whatever imbalance the packing leaves.
+func batchRuns(runs []segRun, maxBatches int) [][]segRun {
+	if maxBatches < 2 {
+		maxBatches = 2
+	}
+	nb := maxBatches
+	if nb > len(runs) {
+		nb = len(runs)
+	}
+	order := make([]int, len(runs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa := runs[order[a]].hi - runs[order[a]].lo
+		sb := runs[order[b]].hi - runs[order[b]].lo
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	batches := make([][]segRun, nb)
+	loads := make([]int, nb)
+	for _, ri := range order {
+		min := 0
+		for b := 1; b < nb; b++ {
+			if loads[b] < loads[min] {
+				min = b
+			}
+		}
+		batches[min] = append(batches[min], runs[ri])
+		loads[min] += runs[ri].hi - runs[ri].lo
+	}
+	return batches
+}
+
+// attachPar arms one executor for segment fan-out under span. The
+// signature budget is sharded across Parallelism workers exactly like
+// the partition-worker pools. A nil limiter leaves the executor
+// sequential.
+func attachPar(ex *executor, lim *parLimiter, span *obsv.Span, opts *Options) {
+	if lim == nil {
+		return
+	}
+	ex.par = &parCtx{
+		lim:      lim,
+		span:     span,
+		reg:      opts.Metrics,
+		poolCap:  shardedPoolCap(opts),
+		batching: 4 * opts.Parallelism,
+		workers:  make([]*segWorker, lim.maxSlots()),
+	}
+}
+
+// shardedPoolCap is the per-worker signature-pool capacity: the build's
+// pool budget split across Parallelism workers (floor 1024), so
+// parallel builds honor roughly the same memory envelope as sequential
+// ones.
+func shardedPoolCap(opts *Options) int {
+	poolCap := opts.PoolCapacity
+	switch {
+	case poolCap == NoPool:
+		return 0
+	case poolCap == 0:
+		poolCap = DefaultPoolCapacity
+	}
+	if opts.Parallelism > 1 {
+		poolCap /= opts.Parallelism
+		if poolCap < 1024 {
+			poolCap = 1024
+		}
+	}
+	return poolCap
+}
+
+// finishPar flushes the fan-out workers' pools and folds their trivial-
+// tuple counts and signature statistics into stats. Call once, after
+// the executor's last traversal; a no-op for sequential executors.
+func (ex *executor) finishPar(stats *BuildStats) error {
+	if ex.par == nil {
+		return nil
+	}
+	var errs []error
+	for _, w := range ex.par.workers {
+		if w == nil {
+			continue
+		}
+		if err := w.ex.pool.Flush(); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		stats.TTs += w.tts
+		stats.workerPool = stats.workerPool.Add(w.ex.pool.Stats())
+	}
+	return errors.Join(errs...)
+}

@@ -39,7 +39,10 @@ func httpGet(t *testing.T, url string) (int, string) {
 // exposition as the build's.
 func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	hier := paperHier(t)
-	ft := duplicatedFact(t, 8000, 31)
+	// Large enough that the build cannot outrun the first scrape loop
+	// iterations even on a loaded single-core machine — observing the
+	// running build below must stay deterministic in practice.
+	ft := duplicatedFact(t, 32000, 31)
 	dir := t.TempDir()
 	factPath := filepath.Join(dir, "fact.bin")
 	if err := relation.WriteFactFile(factPath, ft); err != nil {
@@ -64,7 +67,7 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	// the partitioner to find a sound split, small enough both to force
 	// the external path and to sit far below the process's real heap use
 	// (so the sampler must record a budget crossing).
-	const memBudget = 320_000
+	const memBudget = 1_280_000
 	buildDone := make(chan error, 1)
 	var stats *BuildStats
 	go func() {
@@ -101,18 +104,8 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 			t.Fatalf("/healthz = %d %q", code, body)
 		}
 
-		code, body = httpGet(t, base+"/metrics")
-		if code != 200 {
-			t.Fatalf("/metrics = %d", code)
-		}
-		metrics, err := obsv.ParseProm(strings.NewReader(body))
-		if err != nil {
-			t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, body)
-		}
-		if _, ok := metrics[`cure_span_elapsed_seconds{path="build"}`]; ok && !done {
-			sawLiveMetrics = true
-		}
-
+		// /progress first: the Running-span check is the tightest race
+		// against build completion, so give it the freshest chance.
 		code, body = httpGet(t, base+"/progress")
 		if code != 200 {
 			t.Fatalf("/progress = %d", code)
@@ -133,6 +126,18 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 					sawLiveBuild = true
 				}
 			}
+		}
+
+		code, body = httpGet(t, base+"/metrics")
+		if code != 200 {
+			t.Fatalf("/metrics = %d", code)
+		}
+		metrics, err := obsv.ParseProm(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, body)
+		}
+		if _, ok := metrics[`cure_span_elapsed_seconds{path="build"}`]; ok && !done {
+			sawLiveMetrics = true
 		}
 	}
 	if !stats.Partitioned {

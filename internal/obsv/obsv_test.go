@@ -338,3 +338,74 @@ func TestProgressLine(t *testing.T) {
 	p.End()
 	s.End()
 }
+
+// TestConcurrentSegSpans models the build's segment fan-out: many
+// goroutines attach "seg" children to one phase span, tally rows, and
+// end them while a scraper keeps snapshotting. All children must
+// survive into the snapshot with their row counts, and PhaseTotals must
+// merge them under one path.
+func TestConcurrentSegSpans(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("build")
+	cube := root.Child("cube")
+	const workers, spansEach, rowsEach = 8, 25, 17
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent scraper: must never see a torn span
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, sp := range r.Snapshot().Spans {
+					if sp.Running && !sp.EndTime.IsZero() {
+						panic("running span with end time")
+					}
+				}
+			}
+		}
+	}()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansEach; i++ {
+				sp := cube.Child("seg")
+				sp.AddRowsIn(rowsEach)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cube.End()
+	root.End()
+
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(snap.Spans))
+	}
+	segs := 0
+	var rows int64
+	for _, c := range snap.Spans[0].Children {
+		if c.Name != "cube" {
+			continue
+		}
+		for _, s := range c.Children {
+			if s.Name == "seg" {
+				segs++
+				rows += s.RowsIn
+			}
+		}
+	}
+	if segs != workers*spansEach {
+		t.Fatalf("snapshot holds %d seg spans, want %d", segs, workers*spansEach)
+	}
+	if rows != int64(workers*spansEach*rowsEach) {
+		t.Fatalf("seg rows = %d, want %d", rows, workers*spansEach*rowsEach)
+	}
+	totals := PhaseTotals(r.TakeSpans())
+	if totals["build/cube/seg"] <= 0 {
+		t.Fatalf("phase totals missing merged seg path: %v", totals)
+	}
+}

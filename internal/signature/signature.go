@@ -75,6 +75,20 @@ type Stats struct {
 	Total int64
 }
 
+// Add returns the element-wise sum of s and o — the union statistics of
+// independent pools. Parallel builds classify through one pool per
+// worker (pools are single-goroutine; only the locked writer is shared)
+// and report the merged counts.
+func (s Stats) Add(o Stats) Stats {
+	s.CatGroups += o.CatGroups
+	s.CatSigs += o.CatSigs
+	s.CatSourceSets += o.CatSourceSets
+	s.NTs += o.NTs
+	s.Flushes += o.Flushes
+	s.Total += o.Total
+	return s
+}
+
 // K returns the average number of CATs per shared aggregate combination.
 func (s Stats) K() float64 {
 	if s.CatGroups == 0 {

@@ -99,14 +99,16 @@ func (s *Sorter) Sort(idx []int32, key Keyer) Alg {
 }
 
 // countingSort is a stable distribution sort over codes [0, card).
+// Scratch buffers grow geometrically rather than exact-fit: a cube
+// build feeds one Sorter an endless mix of segment sizes, and doubling
+// makes reallocation amortize away instead of recurring every time a
+// slightly larger segment shows up.
 func (s *Sorter) countingSort(idx []int32, key Keyer, card int) {
 	if cap(s.counts) < card+1 {
-		s.counts = make([]int32, card+1)
+		s.counts = make([]int32, max(card+1, 2*cap(s.counts)))
 	}
 	counts := s.counts[:card+1]
-	for i := range counts {
-		counts[i] = 0
-	}
+	clear(counts)
 	for _, r := range idx {
 		counts[key.Key(r)+1]++
 	}
@@ -114,7 +116,7 @@ func (s *Sorter) countingSort(idx []int32, key Keyer, card int) {
 		counts[i] += counts[i-1]
 	}
 	if cap(s.scratch) < len(idx) {
-		s.scratch = make([]int32, len(idx))
+		s.scratch = make([]int32, max(len(idx), 2*cap(s.scratch)))
 	}
 	out := s.scratch[:len(idx)]
 	for _, r := range idx {

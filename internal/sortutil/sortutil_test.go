@@ -217,3 +217,76 @@ func TestHighSkewSort(t *testing.T) {
 		t.Error("skewed input not sorted")
 	}
 }
+
+// TestSorterSteadyStateAllocs pins the scratch-reuse contract: once a
+// Sorter has seen its largest segment and cardinality, further sorts of
+// any smaller (or equal) shape allocate nothing.
+func TestSorterSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, card = 4096, 512
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(rng.Intn(card))
+	}
+	var s Sorter
+	idx := Iota(nil, n)
+	key := Keyer(SliceKeyer{Col: col, Hi: card}) // boxed once, like a hot loop would
+	s.Sort(idx, key)                             // warm up the buffers
+	sizes := []int{n, n / 2, 37, 1000, n, 256}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, sz := range sizes {
+			s.Sort(idx[:sz], key)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Sort allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSorterGrowsGeometrically feeds steadily growing segments and
+// checks the amortization: the total number of reallocations stays
+// logarithmic in the final size instead of linear in the number of
+// distinct sizes (the old exact-fit behavior).
+func TestSorterGrowsGeometrically(t *testing.T) {
+	var s Sorter
+	grows := 0
+	prevCap := 0
+	col := make([]int32, 10000)
+	for i := range col {
+		col[i] = int32(i % 64)
+	}
+	for n := 16; n <= len(col); n += 16 {
+		idx := Iota(nil, n)
+		s.Sort(idx, SliceKeyer{Col: col[:n], Hi: 64})
+		if cap(s.scratch) != prevCap {
+			grows++
+			prevCap = cap(s.scratch)
+		}
+	}
+	if grows > 12 {
+		t.Fatalf("scratch reallocated %d times over a 16..10000 ramp; doubling should need ~10", grows)
+	}
+}
+
+// BenchmarkSorterManySmallSegments is the fan-out workload: one sorter
+// handling a stream of small segments of varying size. The report must
+// show 0 allocs/op in steady state.
+func BenchmarkSorterManySmallSegments(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const n, card = 1 << 16, 300
+	col := make([]int32, n)
+	for i := range col {
+		col[i] = int32(rng.Intn(card))
+	}
+	var s Sorter
+	idx := Iota(nil, n)
+	key := Keyer(SliceKeyer{Col: col, Hi: card})
+	s.Sort(idx, key) // steady state
+	segs := []int{900, 64, 4000, 17, 1 << 14, 333}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sz := segs[i%len(segs)]
+		s.Sort(idx[:sz], key)
+	}
+}

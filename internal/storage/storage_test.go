@@ -5,10 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/relation"
 	"cure/internal/signature"
 )
@@ -831,5 +833,82 @@ func TestRandomizedWriteReadRoundTrip(t *testing.T) {
 		}
 		r.Close()
 		_ = m
+	}
+}
+
+// TestConcurrentWritersCountLockTraffic hammers one armed writer from
+// several goroutines and checks (a) every tuple survives into the cube
+// and (b) the storage.lock.acquired counter accounts for every sink
+// call, with contended ≤ acquired. Run under -race this doubles as the
+// writer's concurrency regression test.
+func TestConcurrentWritersCountLockTraffic(t *testing.T) {
+	reg := obsv.NewRegistry()
+	w := newTestWriter(t, Options{Metrics: reg})
+	w.Lock()
+	enum := w.Enum()
+	node := enum.Encode([]int{0, 0})
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rid := int64(g*perWorker + i)
+				var err error
+				if i%2 == 0 {
+					err = w.WriteNT(node, rid, []float64{float64(rid), 1})
+				} else {
+					err = w.WriteTT(node, rid)
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := w.Finalize(signature.FormatB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, nm := range m.Nodes {
+		total += nm.NTRows + nm.TTRows
+	}
+	if want := int64(workers * perWorker); total != want {
+		t.Fatalf("cube holds %d tuples, want %d", total, want)
+	}
+	acq := reg.Counter("storage.lock.acquired").Value()
+	cont := reg.Counter("storage.lock.contended").Value()
+	if acq != int64(workers*perWorker) {
+		t.Fatalf("lock.acquired = %d, want %d", acq, workers*perWorker)
+	}
+	if cont < 0 || cont > acq {
+		t.Fatalf("lock.contended = %d out of range [0, %d]", cont, acq)
+	}
+}
+
+// TestUnarmedWriterSkipsLockCounters pins the sequential fast path: a
+// writer that was never Lock()ed must not touch the lock counters.
+func TestUnarmedWriterSkipsLockCounters(t *testing.T) {
+	reg := obsv.NewRegistry()
+	w := newTestWriter(t, Options{Metrics: reg})
+	node := w.Enum().Encode([]int{0, 0})
+	if err := w.WriteNT(node, 1, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finalize(signature.FormatB); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("storage.lock.acquired").Value(); v != 0 {
+		t.Fatalf("unarmed writer recorded %d lock acquisitions", v)
 	}
 }

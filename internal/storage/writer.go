@@ -61,7 +61,9 @@ type Options struct {
 // Writer materializes a cube. It implements signature.Sink for NT/CAT
 // traffic and additionally receives trivial tuples directly (they bypass
 // the signature pool). Finalize compacts everything and writes the
-// manifest. A Writer is single-goroutine, like the construction it backs.
+// manifest. A Writer is single-goroutine until Lock() arms its mutex;
+// parallel builds then share one writer across all workers, and the
+// storage.lock.* counters report how contended that sharing was.
 type Writer struct {
 	opts Options
 	enum *lattice.Enum
@@ -85,6 +87,11 @@ type Writer struct {
 	cTTRows, cTTBytes   *obsv.Counter
 	cCATRows, cCATBytes *obsv.Counter
 	cAggRows, cAggBytes *obsv.Counter
+	// Lock-contention accounting for parallel builds: every armed lock()
+	// counts an acquisition; the ones that found the mutex held count as
+	// contended. Their ratio tells whether the shared writer is the
+	// scaling bottleneck.
+	cLockAcq, cLockContended *obsv.Counter
 
 	finalized bool
 }
@@ -128,6 +135,8 @@ func NewWriter(opts Options) (*Writer, error) {
 	w.cTTRows, w.cTTBytes = reg.Counter("storage.tt.rows"), reg.Counter("storage.tt.bytes")
 	w.cCATRows, w.cCATBytes = reg.Counter("storage.cat.rows"), reg.Counter("storage.cat.bytes")
 	w.cAggRows, w.cAggBytes = reg.Counter("storage.agg.rows"), reg.Counter("storage.agg.bytes")
+	w.cLockAcq = reg.Counter("storage.lock.acquired")
+	w.cLockContended = reg.Counter("storage.lock.contended")
 	return w, nil
 }
 
@@ -150,9 +159,14 @@ func (w *Writer) SetPartitionLevelPair(la, lb int) {
 func (w *Writer) Lock() { w.locked = true }
 
 func (w *Writer) lock() {
-	if w.locked {
+	if !w.locked {
+		return
+	}
+	if !w.mu.TryLock() {
+		w.cLockContended.Inc()
 		w.mu.Lock()
 	}
+	w.cLockAcq.Inc()
 }
 
 func (w *Writer) unlock() {
