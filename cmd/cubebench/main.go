@@ -29,6 +29,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "random seed (default 1)")
 		maxDims   = flag.Int("maxdims", 0, "upper end of the dimensionality sweep (default 16; paper: 28)")
 		par       = flag.Int("parallelism", 0, "worker count for every CURE build (0/1 = sequential; parallel-speedup sweeps its own counts)")
+		noIndex   = flag.Bool("no-index", false, "restrict query-throughput to its full-scan arms (zone-map ablation)")
 		workDir   = flag.String("workdir", "", "scratch directory (default: a temp dir, removed on exit)")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		format    = flag.String("format", "text", "output format: text | md | json")
@@ -46,6 +47,7 @@ func main() {
 		Seed:         *seed,
 		MaxDims:      *maxDims,
 		Parallelism:  *par,
+		NoIndex:      *noIndex,
 		WorkDir:      *workDir,
 		Metrics:      obs.Registry(),
 	}

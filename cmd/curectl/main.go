@@ -337,6 +337,68 @@ func parseLevels(eng *query.Engine, s string) []int {
 	return levels
 }
 
+// parseWhere turns "Product.Class=3..7,Channel.Base=2" into predicates.
+// Each clause is dim.level=lo or dim.level=lo..hi; dimension and level
+// accept names or indices, codes are numeric.
+func parseWhere(eng *query.Engine, s string) []query.Predicate {
+	if s == "" {
+		return nil
+	}
+	hier := eng.Hier()
+	findDim := func(raw string) int {
+		if idx, err := strconv.Atoi(raw); err == nil && idx >= 0 && idx < hier.NumDims() {
+			return idx
+		}
+		for d, dim := range hier.Dims {
+			if strings.EqualFold(dim.Name, raw) {
+				return d
+			}
+		}
+		fatalf("-where: unknown dimension %q", raw)
+		return -1
+	}
+	findLevel := func(d int, raw string) int {
+		dim := hier.Dims[d]
+		if idx, err := strconv.Atoi(raw); err == nil && idx >= 0 && idx <= dim.AllLevel() {
+			return idx
+		}
+		for l := 0; l <= dim.AllLevel(); l++ {
+			if strings.EqualFold(dim.LevelName(l), raw) {
+				return l
+			}
+		}
+		fatalf("-where: dimension %s has no level %q", dim.Name, raw)
+		return -1
+	}
+	var preds []query.Predicate
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		target, rng, ok := strings.Cut(clause, "=")
+		if !ok {
+			fatalf("-where: clause %q is not dim.level=lo[..hi]", clause)
+		}
+		dimRaw, levelRaw, ok := strings.Cut(strings.TrimSpace(target), ".")
+		if !ok {
+			fatalf("-where: clause %q names no level (want dim.level=...)", clause)
+		}
+		d := findDim(strings.TrimSpace(dimRaw))
+		level := findLevel(d, strings.TrimSpace(levelRaw))
+		loRaw, hiRaw, ranged := strings.Cut(strings.TrimSpace(rng), "..")
+		lo, err := strconv.ParseInt(strings.TrimSpace(loRaw), 10, 32)
+		if err != nil {
+			fatalf("-where: bad code %q in %q", loRaw, clause)
+		}
+		hi := lo
+		if ranged {
+			if hi, err = strconv.ParseInt(strings.TrimSpace(hiRaw), 10, 32); err != nil {
+				fatalf("-where: bad code %q in %q", hiRaw, clause)
+			}
+		}
+		preds = append(preds, query.Predicate{Dim: d, Level: level, Lo: int32(lo), Hi: int32(hi)})
+	}
+	return preds
+}
+
 func cmdQuery(args []string, iceberg bool) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	cube := fs.String("cube", "", "cube directory")
@@ -344,12 +406,14 @@ func cmdQuery(args []string, iceberg bool) {
 	limit := fs.Int("limit", 20, "max rows to print (0 = all)")
 	minCount := fs.Float64("min", 1, "iceberg: HAVING count(*) > min")
 	dictPath := fs.String("dict", "", "dictionary JSON from 'curectl import' to decode base-level codes")
+	whereFlag := fs.String("where", "", `selection clauses "dim.level=lo[..hi]", comma-separated (dim/level by name or index, codes numeric)`)
+	noIndex := fs.Bool("no-index", false, "disable zone-map block pruning (full extent scans)")
 	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
 	if *cube == "" {
 		fatalf("missing -cube")
 	}
-	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry()})
+	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry(), NoIndex: *noIndex})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -407,7 +471,11 @@ func cmdQuery(args []string, iceberg bool) {
 		}
 		return nil
 	}
+	preds := parseWhere(eng, *whereFlag)
 	if iceberg {
+		if len(preds) > 0 {
+			fatalf("-where is not supported with iceberg queries")
+		}
 		countIdx := -1
 		for i, s := range eng.Manifest().AggSpecs {
 			if s.Func == relation.AggCount {
@@ -419,6 +487,8 @@ func cmdQuery(args []string, iceberg bool) {
 			fatalf("cube has no COUNT aggregate; iceberg queries need one")
 		}
 		err = eng.IcebergQuery(id, countIdx, *minCount, emit)
+	} else if len(preds) > 0 {
+		err = eng.NodeQueryWhere(id, preds, emit)
 	} else {
 		err = eng.NodeQuery(id, emit)
 	}

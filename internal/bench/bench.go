@@ -44,6 +44,9 @@ type Config struct {
 	// sequential, the paper's setting). The parallel-speedup experiment
 	// sweeps its own worker counts regardless.
 	Parallelism int
+	// NoIndex restricts the query-throughput experiment to its full-scan
+	// arms (the zone-map ablation); by default both arms run.
+	NoIndex bool
 	// Metrics, when set, is the registry the harness instruments its
 	// builds with (so a caller can dump cumulative counters afterwards);
 	// by default the harness creates a private one. Either way the
@@ -222,6 +225,7 @@ func (h *Harness) experiments() map[string]experiment {
 		"parallel-speedup": {"parallel", "Segment-parallel build: worker scaling", (*Harness).runParallel},
 		"ablation-height":  {"ablation-height", "Tallest plan (P3) vs shortest plan (P2)", (*Harness).runHeightAblation},
 		"ablation-plan":    {"ablation-plan", "Shared hierarchical plan vs independent sub-cubes", (*Harness).runPlanAblation},
+		"query-throughput": {"throughput", "Concurrent query serving: QPS/latency, zone maps vs full scans", (*Harness).runThroughput},
 	}
 }
 

@@ -78,6 +78,10 @@ type Options struct {
 	Parallelism int
 	// ForceFormat overrides the dynamic CAT-format decision.
 	ForceFormat signature.Format
+	// ZoneBlockRows is the zone-map block granularity Finalize indexes
+	// the cube's extents at (0 = storage.DefaultZoneBlockRows, negative
+	// disables zone maps).
+	ZoneBlockRows int
 	// TempDir holds partition files (default: Dir/tmp).
 	TempDir string
 	// KeepPartitions leaves partition files on disk after the build
@@ -193,17 +197,18 @@ func Build(opts Options) (*BuildStats, error) {
 		return nil, errors.New("core: ShortPlan (P2 ablation) supports in-memory builds only")
 	}
 	w, err := storage.NewWriter(storage.Options{
-		Dir:        opts.Dir,
-		Hier:       effHier,
-		AggSpecs:   opts.AggSpecs,
-		FactFile:   factRef(opts.Dir, opts.FactPath),
-		FactRows:   rows,
-		DimsInline: opts.DimsInline,
-		Plus:       opts.Plus,
-		ShortPlan:  opts.ShortPlan,
-		Resolver:   resolver,
-		Iceberg:    opts.Iceberg,
-		Metrics:    reg,
+		Dir:           opts.Dir,
+		Hier:          effHier,
+		AggSpecs:      opts.AggSpecs,
+		FactFile:      factRef(opts.Dir, opts.FactPath),
+		FactRows:      rows,
+		DimsInline:    opts.DimsInline,
+		Plus:          opts.Plus,
+		ShortPlan:     opts.ShortPlan,
+		Resolver:      resolver,
+		Iceberg:       opts.Iceberg,
+		ZoneBlockRows: opts.ZoneBlockRows,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return nil, err

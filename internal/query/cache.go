@@ -4,11 +4,14 @@
 // R-rowids against the original fact table through a budgeted page cache
 // (§5.3 identifies the fact table and AGGREGATES as the two relations
 // worth caching), and provides iceberg count queries and roll-up /
-// drill-down navigation.
+// drill-down navigation. The engine is safe for concurrent use: any
+// number of goroutines may run queries over one Engine.
 package query
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 
 	"cure/internal/obsv"
 	"cure/internal/relation"
@@ -17,18 +20,35 @@ import (
 // cachePageRows is the number of fact rows per cache page.
 const cachePageRows = 256
 
-// factCache is an LRU page cache over a fact file, sized as a fraction of
-// the table (the x-axis of the paper's Figure 17).
+// maxCacheShards caps the lock striping of the fact cache; the effective
+// shard count never exceeds the page budget, so tiny caches (the
+// Figure 17 low-fraction points) keep their eviction behavior instead of
+// degenerating into one page per shard.
+const maxCacheShards = 16
+
+// factCache is a sharded LRU page cache over a fact file, sized as a
+// fraction of the table (the x-axis of the paper's Figure 17). Pages are
+// striped over the shards by page id; each shard holds its own map, LRU
+// list, and mutex, so concurrent queries contend only when they touch
+// the same stripe. Rows are copied out to the caller — handing out
+// slices of page memory would let an eviction on another goroutine race
+// the reader.
 type factCache struct {
 	fr       *relation.FactReader
 	rowWidth int
+	rows     int64
+	shards   []cacheShard
+	hits     atomic.Int64
+	misses   atomic.Int64
+	// Bound registry counters (nil-safe no-ops without a registry).
+	cHits, cMisses, cEvicts *obsv.Counter
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
 	maxPages int
 	pages    map[int64]*list.Element
 	lru      *list.List // front = most recent
-	hits     int64
-	misses   int64
-	// Bound registry counters (nil-safe no-ops without a registry).
-	cHits, cMisses, cEvicts *obsv.Counter
 }
 
 type cachePage struct {
@@ -46,51 +66,88 @@ func newFactCache(fr *relation.FactReader, fraction float64, reg *obsv.Registry)
 		fraction = 1
 	}
 	totalPages := (fr.Rows() + cachePageRows - 1) / cachePageRows
-	return &factCache{
+	maxPages := int(float64(totalPages) * fraction)
+	c := &factCache{
 		fr:       fr,
 		rowWidth: fr.RowWidth(),
-		maxPages: int(float64(totalPages) * fraction),
-		pages:    map[int64]*list.Element{},
-		lru:      list.New(),
+		rows:     fr.Rows(),
 		cHits:    reg.Counter("query.cache.hits"),
 		cMisses:  reg.Counter("query.cache.misses"),
 		cEvicts:  reg.Counter("query.cache.evictions"),
 	}
+	if maxPages > 0 {
+		numShards := maxPages
+		if numShards > maxCacheShards {
+			numShards = maxCacheShards
+		}
+		c.shards = make([]cacheShard, numShards)
+		for i := range c.shards {
+			budget := maxPages / numShards
+			if i < maxPages%numShards {
+				budget++
+			}
+			c.shards[i] = cacheShard{
+				maxPages: budget,
+				pages:    map[int64]*list.Element{},
+				lru:      list.New(),
+			}
+		}
+	}
+	reg.Gauge("query.cache.shards").Set(int64(len(c.shards)))
+	return c
 }
 
-// row returns the raw bytes of fact row rrowid, reading through the cache.
-// The returned slice aliases cache memory and is valid until the next call.
-func (c *factCache) row(rrowid int64) ([]byte, error) {
+// readRow copies the raw bytes of fact row rrowid into dst (rowWidth
+// bytes), reading through the cache. Safe for concurrent use.
+func (c *factCache) readRow(rrowid int64, dst []byte) error {
 	pageID := rrowid / cachePageRows
 	off := int(rrowid%cachePageRows) * c.rowWidth
-	if el, ok := c.pages[pageID]; ok {
-		c.hits++
-		c.cHits.Inc()
-		c.lru.MoveToFront(el)
-		return el.Value.(*cachePage).data[off : off+c.rowWidth], nil
+	if len(c.shards) == 0 {
+		// Caching disabled: read just the one row.
+		c.misses.Add(1)
+		c.cMisses.Inc()
+		return c.fr.ReadRawAt(rrowid, 1, dst[:c.rowWidth])
 	}
-	c.misses++
+	s := &c.shards[pageID%int64(len(c.shards))]
+	s.mu.Lock()
+	if el, ok := s.pages[pageID]; ok {
+		s.lru.MoveToFront(el)
+		copy(dst, el.Value.(*cachePage).data[off:off+c.rowWidth])
+		s.mu.Unlock()
+		c.hits.Add(1)
+		c.cHits.Inc()
+		return nil
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
 	c.cMisses.Inc()
+	// Fetch the page outside the shard lock — a miss costs one pread and
+	// must not serialize the stripe's hits behind it.
 	first := pageID * cachePageRows
 	count := int64(cachePageRows)
-	if first+count > c.fr.Rows() {
-		count = c.fr.Rows() - first
+	if first+count > c.rows {
+		count = c.rows - first
 	}
 	data := make([]byte, int(count)*c.rowWidth)
 	if err := c.fr.ReadRawAt(first, int(count), data); err != nil {
-		return nil, err
+		return err
 	}
-	if c.maxPages > 0 {
-		if c.lru.Len() >= c.maxPages {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.pages, oldest.Value.(*cachePage).id)
+	copy(dst, data[off:off+c.rowWidth])
+	s.mu.Lock()
+	if _, ok := s.pages[pageID]; !ok {
+		// Concurrent missers of one page insert once; the losers' reads
+		// are counted as the misses they were.
+		if s.lru.Len() >= s.maxPages {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			delete(s.pages, oldest.Value.(*cachePage).id)
 			c.cEvicts.Inc()
 		}
-		c.pages[pageID] = c.lru.PushFront(&cachePage{id: pageID, data: data})
+		s.pages[pageID] = s.lru.PushFront(&cachePage{id: pageID, data: data})
 	}
-	return data[off : off+c.rowWidth], nil
+	s.mu.Unlock()
+	return nil
 }
 
 // Stats returns cache hits and misses.
-func (c *factCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+func (c *factCache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }

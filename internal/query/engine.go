@@ -22,6 +22,10 @@ type Options struct {
 	// the other half of §5.3's caching advice. Defaults to true via
 	// OpenDefault.
 	PinAggregates bool
+	// NoIndex disables zone-map block pruning for predicate queries (the
+	// ablation arm of the query-throughput experiment); selections then
+	// fall back to full extent scans.
+	NoIndex bool
 	// Metrics is the optional observability registry: cache
 	// hit/miss/eviction counters, per-query row counters, and a
 	// node-query latency histogram (microseconds). nil disables it.
@@ -44,6 +48,15 @@ type Engine struct {
 	cTTScan  *obsv.Counter
 	cNTScan  *obsv.Counter
 	cCATScan *obsv.Counter
+	// Zone-map index accounting and the umbrella latency histogram every
+	// public query op observes.
+	cIdxHits    *obsv.Counter
+	cIdxSkipped *obsv.Counter
+	cWhere      *obsv.Counter
+	hWhere      *obsv.Histogram
+	hQuery      *obsv.Histogram
+	noIndex     bool
+	zoneOffs    []int // dimension → first zone slot (storage.ZoneSlots)
 }
 
 // Open opens a cube directory for querying.
@@ -69,7 +82,15 @@ func Open(dir string, opts Options) (*Engine, error) {
 		cTTScan:  opts.Metrics.Counter("query.scan.tt_rows"),
 		cNTScan:  opts.Metrics.Counter("query.scan.nt_rows"),
 		cCATScan: opts.Metrics.Counter("query.scan.cat_rows"),
+
+		cIdxHits:    opts.Metrics.Counter("query.index.hits"),
+		cIdxSkipped: opts.Metrics.Counter("query.index.blocks_skipped"),
+		cWhere:      opts.Metrics.Counter("query.where.count"),
+		hWhere:      opts.Metrics.Histogram("query.where.latency_us"),
+		hQuery:      opts.Metrics.Histogram("query.latency_us"),
+		noIndex:     opts.NoIndex,
 	}
+	e.zoneOffs, _ = storage.ZoneSlots(r.Hier())
 	opts.Metrics.Gauge("query.cache.fraction_pct").Set(int64(opts.CacheFraction * 100))
 	if opts.PinAggregates {
 		if e.aggRaw, err = r.AggregatesRaw(); err != nil {
@@ -124,7 +145,8 @@ type Row struct {
 
 // NodeQuery streams every tuple of node id to fn. The Row passed to fn
 // reuses internal buffers. This is the "node query, no selection"
-// workload of the paper's §7.
+// workload of the paper's §7. Safe for concurrent use — any number of
+// goroutines may query one Engine simultaneously.
 func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	if e.reg == nil {
 		return e.nodeQuery(id, fn)
@@ -140,7 +162,9 @@ func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	sp.AddRowsOut(rows)
 	e.cQueries.Inc()
 	e.cRows.Add(rows)
-	e.hLatency.Observe(time.Since(start).Microseconds())
+	us := time.Since(start).Microseconds()
+	e.hLatency.Observe(us)
+	e.hQuery.Observe(us)
 	return err
 }
 
@@ -148,7 +172,23 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	if !e.enum.Valid(id) {
 		return fmt.Errorf("query: invalid node id %d", id)
 	}
-	levels := e.enum.Decode(id, nil)
+	return e.scanNode(id, e.enum.Decode(id, nil), nil, fn)
+}
+
+// scanFilter is a per-query selection threaded through scanNode: the
+// tuple predicates, the same predicates lowered to zone-map slots (nil
+// disables block pruning), and the CURE_DR dimension→position map for
+// evaluating inline codes.
+type scanFilter struct {
+	preds []Predicate
+	zp    []storage.ZonePred
+	drPos []int
+}
+
+// scanNode streams the tuples of node id through the optional filter.
+// All scratch state is per-call, so concurrent scans never share
+// mutable memory.
+func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn func(Row) error) error {
 	hier := e.r.Hier()
 	activeDims := make([]int, 0, len(levels))
 	for d, l := range levels {
@@ -162,18 +202,52 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	}
 	baseDims := make([]int32, hier.NumDims())
 	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
+	rawBuf := make([]byte, e.fact.RowWidth())
 	specs := e.r.Manifest().AggSpecs
 
 	project := func(rrowid int64) error {
-		raw, err := e.cache.row(rrowid)
-		if err != nil {
+		if err := e.cache.readRow(rrowid, rawBuf); err != nil {
 			return err
 		}
-		e.fact.DecodeRow(raw, baseDims, baseMeas)
+		e.fact.DecodeRow(rawBuf, baseDims, baseMeas)
 		for i, d := range activeDims {
 			row.Dims[i] = hier.Dims[d].MapCode(baseDims[d], levels[d])
 		}
 		return nil
+	}
+	// match evaluates the filter on the current row: CURE_DR tuples on
+	// the inline codes already in row.Dims, everything else on the
+	// projected base row — the exact semantics zone maps are built with,
+	// which is what makes block pruning lossless.
+	match := func() bool {
+		if f == nil {
+			return true
+		}
+		if f.drPos != nil {
+			for _, p := range f.preds {
+				if !p.Match(row.Dims[f.drPos[p.Dim]]) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, p := range f.preds {
+			if !p.Match(hier.Dims[p.Dim].MapCode(baseDims[p.Dim], p.Level)) {
+				return false
+			}
+		}
+		return true
+	}
+	// prune lowers the filter onto one extent's zone map; a nil result
+	// means scan everything (no filter, no map, or indexing disabled).
+	prune := func(z *storage.ZoneIndex, rows int64) []storage.RowRange {
+		if f == nil || len(f.zp) == 0 || z == nil || e.noIndex {
+			return nil
+		}
+		ranges, kept, skipped := storage.PruneZones(z, rows, f.zp)
+		e.cIdxHits.Add(int64(kept))
+		e.cIdxSkipped.Add(int64(skipped))
+		return ranges
 	}
 
 	// Relation-scan accounting: tallied locally, added once per query
@@ -187,40 +261,57 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 
 	// 1. Trivial tuples: stored once at the least detailed node they
 	// belong to; collect them along the plan path (bounded to the
-	// partition subtree when the cube was built partitioned).
+	// partition subtree when the cube was built partitioned). Each
+	// ancestor extent prunes against its own zone map.
 	for _, anc := range e.planPath(id, levels) {
 		ids, err := e.r.TTRowIDs(anc, nil)
 		if err != nil {
 			return err
 		}
-		ttScanned += int64(len(ids))
-		for _, rrowid := range ids {
-			if err := project(rrowid); err != nil {
-				return err
+		ttRanges := []storage.RowRange{{Lo: 0, Hi: int64(len(ids))}}
+		if nm, ok := e.r.Manifest().NodeMeta(anc); ok {
+			if pr := prune(nm.TTZones, int64(len(ids))); pr != nil {
+				ttRanges = pr
 			}
-			// A trivial tuple's aggregates are the projections of its
-			// single source tuple.
-			for i, s := range specs {
-				if s.Func == relation.AggCount {
-					row.Aggrs[i] = 1
-				} else {
-					row.Aggrs[i] = baseMeas[s.Measure]
+		}
+		for _, rg := range ttRanges {
+			for _, rrowid := range ids[rg.Lo:rg.Hi] {
+				ttScanned++
+				if err := project(rrowid); err != nil {
+					return err
 				}
-			}
-			row.RRowid = rrowid
-			if err := fn(row); err != nil {
-				return err
+				if !match() {
+					continue
+				}
+				// A trivial tuple's aggregates are the projections of its
+				// single source tuple.
+				for i, s := range specs {
+					if s.Func == relation.AggCount {
+						row.Aggrs[i] = 1
+					} else {
+						row.Aggrs[i] = baseMeas[s.Measure]
+					}
+				}
+				row.RRowid = rrowid
+				if err := fn(row); err != nil {
+					return err
+				}
 			}
 		}
 	}
 
+	nm, _ := e.r.Manifest().NodeMeta(id)
+
 	// 2. Normal tuples.
-	if err := e.r.NTRows(id, func(nt storage.NTRow) error {
+	if err := e.r.NTRowsRanges(id, prune(nm.NTZones, nm.NTRows), func(nt storage.NTRow) error {
 		ntScanned++
 		if e.r.Manifest().DimsInline {
 			copy(row.Dims, nt.Dims)
 		} else if err := project(nt.RRowid); err != nil {
 			return err
+		}
+		if !match() {
+			return nil
 		}
 		copy(row.Aggrs, nt.Aggrs)
 		row.RRowid = nt.RRowid // -1 under CURE_DR
@@ -232,7 +323,7 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	// 3. Common aggregate tuples: aggregates via AGGREGATES, dimensions
 	// via the source row-id (carried by the CAT row under format (b), by
 	// the AGGREGATES tuple under format (a)).
-	return e.r.CATRows(id, func(cat storage.CATRow) error {
+	return e.r.CATRowsRanges(id, prune(nm.CATZones, nm.CATRows), func(cat storage.CATRow) error {
 		catScanned++
 		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
 		if err != nil {
@@ -244,6 +335,9 @@ func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
 		}
 		if err := project(rrowid); err != nil {
 			return err
+		}
+		if !match() {
+			return nil
 		}
 		row.RRowid = rrowid
 		return fn(row)
@@ -325,7 +419,9 @@ func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 	sp.AddRowsOut(rows)
 	e.reg.Counter("query.iceberg.count").Inc()
 	e.cRows.Add(rows)
-	e.reg.Histogram("query.iceberg.latency_us").Observe(time.Since(start).Microseconds())
+	us := time.Since(start).Microseconds()
+	e.reg.Histogram("query.iceberg.latency_us").Observe(us)
+	e.hQuery.Observe(us)
 	return err
 }
 
@@ -348,12 +444,12 @@ func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 	row := Row{Dims: make([]int32, len(activeDims)), Aggrs: make([]float64, len(specs))}
 	baseDims := make([]int32, hier.NumDims())
 	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
+	rawBuf := make([]byte, e.fact.RowWidth())
 	project := func(rrowid int64) error {
-		raw, err := e.cache.row(rrowid)
-		if err != nil {
+		if err := e.cache.readRow(rrowid, rawBuf); err != nil {
 			return err
 		}
-		e.fact.DecodeRow(raw, baseDims, baseMeas)
+		e.fact.DecodeRow(rawBuf, baseDims, baseMeas)
 		for i, d := range activeDims {
 			row.Dims[i] = hier.Dims[d].MapCode(baseDims[d], levels[d])
 		}

@@ -2,8 +2,10 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"cure/internal/lattice"
+	"cure/internal/storage"
 )
 
 // Predicate restricts a node query to tuples whose value of one dimension
@@ -55,59 +57,54 @@ func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Ro
 			return fmt.Errorf("query: empty predicate range [%d,%d]", p.Lo, p.Hi)
 		}
 	}
+	f := &scanFilter{preds: preds}
 	if e.r.Manifest().DimsInline {
-		return e.nodeQueryWhereDR(id, levels, preds, fn)
-	}
-	// Row.RRowid is valid for every tuple of a non-DR cube; evaluate
-	// predicates by re-projecting the source row.
-	baseDims := make([]int32, hier.NumDims())
-	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
-	return e.NodeQuery(id, func(row Row) error {
-		raw, err := e.cache.row(row.RRowid)
-		if err != nil {
-			return err
-		}
-		e.fact.DecodeRow(raw, baseDims, baseMeas)
-		for _, p := range preds {
-			if !p.Match(hier.Dims[p.Dim].MapCode(baseDims[p.Dim], p.Level)) {
-				return nil
+		// CURE_DR: predicates evaluate against inline codes, so each must
+		// target exactly the node's level of a grouped dimension (coarser
+		// levels would need base codes, which DR rows no longer
+		// reference). Map dimension index → grouped position.
+		pos := make([]int, hier.NumDims())
+		idx := 0
+		for d, l := range levels {
+			if hier.Dims[d].IsAll(l) {
+				pos[d] = -1
+			} else {
+				pos[d] = idx
+				idx++
 			}
 		}
-		return fn(row)
-	})
-}
-
-// nodeQueryWhereDR evaluates predicates against the inline codes of a
-// CURE_DR cube: each predicate must target exactly the node's level of a
-// grouped dimension (coarser levels would need base codes, which DR rows
-// no longer reference).
-func (e *Engine) nodeQueryWhereDR(id lattice.NodeID, levels []int, preds []Predicate, fn func(Row) error) error {
-	hier := e.r.Hier()
-	// Map dimension index → position among the node's grouped dims.
-	pos := make([]int, hier.NumDims())
-	idx := 0
-	for d, l := range levels {
-		if hier.Dims[d].IsAll(l) {
-			pos[d] = -1
-		} else {
-			pos[d] = idx
-			idx++
-		}
-	}
-	for _, p := range preds {
-		if pos[p.Dim] < 0 || p.Level != levels[p.Dim] {
-			return fmt.Errorf("query: CURE_DR cubes only support predicates at the node's own level (dim %s, level %s)",
-				hier.Dims[p.Dim].Name, hier.Dims[p.Dim].LevelName(levels[p.Dim]))
-		}
-	}
-	return e.NodeQuery(id, func(row Row) error {
 		for _, p := range preds {
-			if !p.Match(row.Dims[pos[p.Dim]]) {
-				return nil
+			if pos[p.Dim] < 0 || p.Level != levels[p.Dim] {
+				return fmt.Errorf("query: CURE_DR cubes only support predicates at the node's own level (dim %s, level %s)",
+					hier.Dims[p.Dim].Name, hier.Dims[p.Dim].LevelName(levels[p.Dim]))
 			}
 		}
-		return fn(row)
-	})
+		f.drPos = pos
+	}
+	// Lower predicates onto zone-map slots. Predicates at the ALL level
+	// accept everything and have no slot; they contribute no pruning.
+	if !e.noIndex {
+		for _, p := range preds {
+			if p.Level < hier.Dims[p.Dim].AllLevel() {
+				f.zp = append(f.zp, storage.ZonePred{Slot: e.zoneOffs[p.Dim] + p.Level, Lo: p.Lo, Hi: p.Hi})
+			}
+		}
+	}
+	if e.reg == nil {
+		return e.scanNode(id, levels, f, fn)
+	}
+	sp := e.reg.StartSpan("query.where")
+	defer sp.End()
+	start := time.Now()
+	var rows int64
+	err := e.scanNode(id, levels, f, func(r Row) error { rows++; return fn(r) })
+	sp.AddRowsOut(rows)
+	e.cWhere.Inc()
+	e.cRows.Add(rows)
+	us := time.Since(start).Microseconds()
+	e.hWhere.Observe(us)
+	e.hQuery.Observe(us)
+	return err
 }
 
 // SliceQuery is the common OLAP slice: the grouping of node id with

@@ -152,6 +152,74 @@ func TestNodeQueryWhereValidation(t *testing.T) {
 	}
 }
 
+// TestNodeQueryWhereEdgeCases covers the domain boundaries: predicates
+// whose ranges fall entirely outside the code domain select nothing
+// (without erroring), ALL-level predicates are vacuously true, and
+// single-point ranges at the domain edges behave inclusively.
+func TestNodeQueryWhereEdgeCases(t *testing.T) {
+	dir, hier, ft := buildPredCube(t, false)
+	eng, err := OpenDefault(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	node := eng.Enum().Encode([]int{0, 0})
+	count := func(preds []Predicate) int {
+		t.Helper()
+		n := 0
+		if err := eng.NodeQueryWhere(node, preds, func(Row) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	total := count(nil)
+	if total == 0 {
+		t.Fatal("cube is empty")
+	}
+	// Entirely above / below the domain: zero rows, no error.
+	if n := count([]Predicate{{Dim: 0, Level: 0, Lo: 100, Hi: 200}}); n != 0 {
+		t.Errorf("above-domain range selected %d rows", n)
+	}
+	if n := count([]Predicate{{Dim: 0, Level: 0, Lo: -50, Hi: -1}}); n != 0 {
+		t.Errorf("below-domain range selected %d rows", n)
+	}
+	// A range covering the whole domain (and beyond) selects everything.
+	if n := count([]Predicate{{Dim: 0, Level: 0, Lo: -10, Hi: 100}}); n != total {
+		t.Errorf("superset range selected %d of %d rows", n, total)
+	}
+	// ALL-level predicate: the only code is 0, so [0,0] is vacuously true
+	// and [1,1] is vacuously false.
+	all := hier.Dims[0].AllLevel()
+	if n := count([]Predicate{{Dim: 0, Level: all, Lo: 0, Hi: 0}}); n != total {
+		t.Errorf("ALL-level [0,0] selected %d of %d rows", n, total)
+	}
+	if n := count([]Predicate{{Dim: 0, Level: all, Lo: 1, Hi: 1}}); n != 0 {
+		t.Errorf("ALL-level [1,1] selected %d rows", n)
+	}
+	// Point ranges at the domain edges are inclusive; together with the
+	// interior they partition the total.
+	edges := 0
+	for _, p := range []Predicate{
+		{Dim: 1, Level: 0, Lo: 0, Hi: 0},
+		{Dim: 1, Level: 0, Lo: 1, Hi: 3},
+		{Dim: 1, Level: 0, Lo: 4, Hi: 4},
+	} {
+		edges += count([]Predicate{p})
+	}
+	if edges != total {
+		t.Errorf("partitioned counts sum to %d, want %d", edges, total)
+	}
+	// Contradictory predicates on one dimension: zero rows, no error.
+	if n := count([]Predicate{
+		{Dim: 1, Level: 0, Lo: 0, Hi: 1},
+		{Dim: 1, Level: 0, Lo: 3, Hi: 4},
+	}); n != 0 {
+		t.Errorf("contradictory predicates selected %d rows", n)
+	}
+	_ = ft
+}
+
 func TestSliceQuery(t *testing.T) {
 	dir, hier, ft := buildPredCube(t, false)
 	eng, err := OpenDefault(dir)

@@ -55,6 +55,11 @@ type NodeMeta struct {
 	TTBmLen int64  `json:"tt_bm_len,omitempty"` // bitmap byte length when TTKind == TTBitmap
 	CATOff  int64  `json:"cat_off"`
 	CATRows int64  `json:"cat_rows"`
+	// Zone maps of the extents (nil when the extent is smaller than one
+	// zone block or the cube was written without a resolver).
+	NTZones  *ZoneIndex `json:"nt_zones,omitempty"`
+	TTZones  *ZoneIndex `json:"tt_zones,omitempty"`
+	CATZones *ZoneIndex `json:"cat_zones,omitempty"`
 }
 
 // Sizes breaks down the on-disk footprint of a cube, the quantity the

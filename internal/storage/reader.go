@@ -136,32 +136,54 @@ type NTRow struct {
 // NTRows streams the normal tuples of node id. The row passed to fn
 // reuses internal buffers; copy what must outlive the call.
 func (r *Reader) NTRows(id lattice.NodeID, fn func(row NTRow) error) error {
+	return r.NTRowsRanges(id, nil, fn)
+}
+
+// NTRowsRanges streams the normal tuples of node id whose extent-row
+// index falls in one of the given half-open ranges (nil = the whole
+// extent; an empty non-nil slice streams nothing). Zone-map pruning
+// produces the ranges. NTRowsRanges is safe for concurrent use: every
+// call reads through ReadAt with private buffers.
+func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row NTRow) error) error {
 	nm, ok := r.m.NodeMeta(id)
 	if !ok || nm.NTRows == 0 {
 		return nil
 	}
-	arity := r.nodeArity(id)
-	width := r.m.ntRowWidth(arity)
-	buf := make([]byte, nm.NTRows*int64(width))
-	if _, err := r.ntF.ReadAt(buf, nm.NTOff); err != nil {
-		return fmt.Errorf("storage: NT extent of node %d: %w", id, err)
+	if ranges == nil {
+		ranges = []RowRange{{0, nm.NTRows}}
 	}
+	arity := r.nodeArity(id)
+	width := int64(r.m.ntRowWidth(arity))
 	row := NTRow{Aggrs: make([]float64, r.m.NumAggrs())}
 	if r.m.DimsInline {
 		row.Dims = make([]int32, arity)
 	}
-	for i := int64(0); i < nm.NTRows; i++ {
-		rec := buf[i*int64(width) : (i+1)*int64(width)]
-		if r.m.DimsInline {
-			getDims(rec, row.Dims)
-			getAggrs(rec[4*arity:], row.Aggrs)
-			row.RRowid = -1
-		} else {
-			row.RRowid = getInt64(rec)
-			getAggrs(rec[8:], row.Aggrs)
+	var buf []byte
+	for _, rg := range ranges {
+		if rg.Lo < 0 || rg.Hi > nm.NTRows || rg.Lo >= rg.Hi {
+			continue
 		}
-		if err := fn(row); err != nil {
-			return err
+		n := rg.Hi - rg.Lo
+		if int64(cap(buf)) < n*width {
+			buf = make([]byte, n*width)
+		}
+		buf = buf[:n*width]
+		if _, err := r.ntF.ReadAt(buf, nm.NTOff+rg.Lo*width); err != nil {
+			return fmt.Errorf("storage: NT extent of node %d: %w", id, err)
+		}
+		for i := int64(0); i < n; i++ {
+			rec := buf[i*width : (i+1)*width]
+			if r.m.DimsInline {
+				getDims(rec, row.Dims)
+				getAggrs(rec[4*arity:], row.Aggrs)
+				row.RRowid = -1
+			} else {
+				row.RRowid = getInt64(rec)
+				getAggrs(rec[8:], row.Aggrs)
+			}
+			if err := fn(row); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -176,27 +198,47 @@ type CATRow struct {
 
 // CATRows streams the CAT references of node id.
 func (r *Reader) CATRows(id lattice.NodeID, fn func(row CATRow) error) error {
+	return r.CATRowsRanges(id, nil, fn)
+}
+
+// CATRowsRanges streams the CAT references of node id within the given
+// extent-row ranges (nil = the whole extent; an empty non-nil slice
+// streams nothing). Safe for concurrent use.
+func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row CATRow) error) error {
 	nm, ok := r.m.NodeMeta(id)
 	if !ok || nm.CATRows == 0 {
 		return nil
 	}
-	width := r.m.catRowWidth()
-	buf := make([]byte, nm.CATRows*int64(width))
-	if _, err := r.catF.ReadAt(buf, nm.CATOff); err != nil {
-		return fmt.Errorf("storage: CAT extent of node %d: %w", id, err)
+	if ranges == nil {
+		ranges = []RowRange{{0, nm.CATRows}}
 	}
-	for i := int64(0); i < nm.CATRows; i++ {
-		rec := buf[i*int64(width):]
-		var row CATRow
-		if r.m.CatFormat == signature.FormatA {
-			row.RRowid = -1
-			row.ARowid = getInt64(rec)
-		} else {
-			row.RRowid = getInt64(rec)
-			row.ARowid = getInt64(rec[8:])
+	width := int64(r.m.catRowWidth())
+	var buf []byte
+	for _, rg := range ranges {
+		if rg.Lo < 0 || rg.Hi > nm.CATRows || rg.Lo >= rg.Hi {
+			continue
 		}
-		if err := fn(row); err != nil {
-			return err
+		n := rg.Hi - rg.Lo
+		if int64(cap(buf)) < n*width {
+			buf = make([]byte, n*width)
+		}
+		buf = buf[:n*width]
+		if _, err := r.catF.ReadAt(buf, nm.CATOff+rg.Lo*width); err != nil {
+			return fmt.Errorf("storage: CAT extent of node %d: %w", id, err)
+		}
+		for i := int64(0); i < n; i++ {
+			rec := buf[i*width:]
+			var row CATRow
+			if r.m.CatFormat == signature.FormatA {
+				row.RRowid = -1
+				row.ARowid = getInt64(rec)
+			} else {
+				row.RRowid = getInt64(rec)
+				row.ARowid = getInt64(rec[8:])
+			}
+			if err := fn(row); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

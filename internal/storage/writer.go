@@ -50,6 +50,11 @@ type Options struct {
 	// StageBudget bounds the bytes buffered across per-node stages
 	// before they are spilled to the logs (default 8 MiB).
 	StageBudget int64
+	// ZoneBlockRows is the zone-map block granularity Finalize indexes
+	// extents at (0 = DefaultZoneBlockRows, negative = no zone maps).
+	// Zone maps also require a Resolver; writers without one (incremental
+	// merges) skip them silently.
+	ZoneBlockRows int
 	// Iceberg records the min-count threshold of the build (default 1).
 	Iceberg int64
 	// Metrics is the optional observability registry: per-relation tuple
@@ -347,6 +352,15 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 	}
 
 	if err := hierarchy.WriteSchemaFile(filepath.Join(w.opts.Dir, HierFile), w.opts.Hier); err != nil {
+		return nil, err
+	}
+	if err := WriteManifest(w.opts.Dir, m); err != nil {
+		return nil, err
+	}
+	// Zone maps re-read the finalized extents through a Reader (so block
+	// order matches query-time scans exactly), then the manifest is
+	// rewritten with the indexes attached.
+	if err := w.buildZoneMaps(m); err != nil {
 		return nil, err
 	}
 	if err := WriteManifest(w.opts.Dir, m); err != nil {

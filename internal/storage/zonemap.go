@@ -1,0 +1,402 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"cure/internal/hierarchy"
+	"cure/internal/lattice"
+	"cure/internal/signature"
+)
+
+// Zone maps are the sparse indexes of the query path: per node, per
+// extent (NT, TT, CAT), Finalize records the min/max code of every
+// dimension-level over blocks of ZoneBlockRows tuples, in the exact
+// order query-time scans visit them. A selective query compares its
+// predicate ranges against the block bounds and skips blocks that cannot
+// match; on extents CURE+ left sorted (TT row-ids, format-(a) CATs) the
+// bounds are monotone and the candidate window narrows by binary search
+// instead of a linear sweep.
+
+// DefaultZoneBlockRows is the zone-map block granularity (rows per
+// block). Extents smaller than one block carry no zone map — pruning a
+// sub-block extent saves less than the manifest bytes it costs.
+const DefaultZoneBlockRows = 256
+
+// Sentinel bounds of a slot whose value is unknown for a row (e.g. the
+// non-grouped dimensions of a CURE_DR NT extent): the full int32 range,
+// which no predicate can exclude.
+const (
+	zoneWideLo = math.MinInt32
+	zoneWideHi = math.MaxInt32
+)
+
+// ZoneIndex is the zone map of one extent: for each block of BlockRows
+// consecutive rows and each slot (one per real dimension-level, see
+// ZoneSlots), the inclusive [Lo, Hi] code bounds, stored flat as
+// block-major arrays of numBlocks·Slots entries. Sorted[s] marks slots
+// whose per-block bounds are globally ordered (hi of block b ≤ lo of
+// block b+1), enabling binary search.
+type ZoneIndex struct {
+	BlockRows int32   `json:"block_rows"`
+	Slots     int32   `json:"slots"`
+	Lo        []int32 `json:"lo"`
+	Hi        []int32 `json:"hi"`
+	Sorted    []bool  `json:"sorted,omitempty"`
+}
+
+// NumBlocks returns the number of blocks the index covers.
+func (z *ZoneIndex) NumBlocks() int {
+	if z == nil || z.Slots == 0 {
+		return 0
+	}
+	return len(z.Lo) / int(z.Slots)
+}
+
+// sortedSlot reports whether slot s has globally ordered block bounds.
+func (z *ZoneIndex) sortedSlot(s int) bool { return s < len(z.Sorted) && z.Sorted[s] }
+
+// ZoneSlots returns the slot layout of a schema: slot offs[d]+l holds
+// the bounds of dimension d at real level l (the ALL level needs no
+// slot — it has a single code). The second result is the total slot
+// count.
+func ZoneSlots(hier *hierarchy.Schema) ([]int, int) {
+	offs := make([]int, hier.NumDims())
+	n := 0
+	for d, dim := range hier.Dims {
+		offs[d] = n
+		n += dim.AllLevel()
+	}
+	return offs, n
+}
+
+// ZonePred is one predicate lowered to zone-map terms: accept rows whose
+// code in Slot falls in [Lo, Hi].
+type ZonePred struct {
+	Slot   int
+	Lo, Hi int32
+}
+
+// RowRange is a half-open interval [Lo, Hi) of row indexes within one
+// extent.
+type RowRange struct{ Lo, Hi int64 }
+
+// PruneZones returns the row ranges of an extent that may contain rows
+// satisfying every predicate, merging adjacent surviving blocks, plus
+// the numbers of blocks kept and skipped. rows is the extent's row
+// count (the last block may be partial). Predicates on sorted slots
+// narrow the candidate window by binary search; the rest are tested
+// block by block.
+func PruneZones(z *ZoneIndex, rows int64, preds []ZonePred) ([]RowRange, int, int) {
+	nb := z.NumBlocks()
+	if nb == 0 || len(preds) == 0 {
+		return nil, 0, 0
+	}
+	slots := int(z.Slots)
+	lo, hi := 0, nb
+	for _, p := range preds {
+		if p.Slot < 0 || p.Slot >= slots || !z.sortedSlot(p.Slot) {
+			continue
+		}
+		l := sort.Search(nb, func(b int) bool { return z.Hi[b*slots+p.Slot] >= p.Lo })
+		h := sort.Search(nb, func(b int) bool { return z.Lo[b*slots+p.Slot] > p.Hi })
+		if l > lo {
+			lo = l
+		}
+		if h < hi {
+			hi = h
+		}
+	}
+	var out []RowRange
+	kept := 0
+	br := int64(z.BlockRows)
+	for b := lo; b < hi; b++ {
+		match := true
+		for _, p := range preds {
+			if p.Slot < 0 || p.Slot >= slots {
+				continue
+			}
+			if z.Hi[b*slots+p.Slot] < p.Lo || z.Lo[b*slots+p.Slot] > p.Hi {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		kept++
+		rLo := int64(b) * br
+		rHi := rLo + br
+		if rHi > rows {
+			rHi = rows
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == rLo {
+			out[n-1].Hi = rHi
+		} else {
+			out = append(out, RowRange{rLo, rHi})
+		}
+	}
+	if out == nil {
+		out = []RowRange{} // every block pruned: scan nothing, not everything
+	}
+	return out, kept, nb - kept
+}
+
+// zoneBuilder accumulates per-block bounds while an extent streams by in
+// its final on-disk order.
+type zoneBuilder struct {
+	blockRows int
+	slots     int
+	lo, hi    []int32
+	n         int // rows folded into the current block
+}
+
+func newZoneBuilder(blockRows, slots int) *zoneBuilder {
+	return &zoneBuilder{blockRows: blockRows, slots: slots}
+}
+
+// openBlock appends a fresh block with empty (inverted) bounds.
+func (b *zoneBuilder) openBlock() int {
+	base := len(b.lo)
+	for s := 0; s < b.slots; s++ {
+		b.lo = append(b.lo, zoneWideHi)
+		b.hi = append(b.hi, zoneWideLo)
+	}
+	return base
+}
+
+func (b *zoneBuilder) blockBase() int {
+	if b.n == 0 {
+		return b.openBlock()
+	}
+	return len(b.lo) - b.slots
+}
+
+func (b *zoneBuilder) endRow() {
+	b.n++
+	if b.n == b.blockRows {
+		b.n = 0
+	}
+}
+
+// addAll folds one row whose code is known in every slot.
+func (b *zoneBuilder) addAll(codes []int32) {
+	base := b.blockBase()
+	for s, c := range codes {
+		if c < b.lo[base+s] {
+			b.lo[base+s] = c
+		}
+		if c > b.hi[base+s] {
+			b.hi[base+s] = c
+		}
+	}
+	b.endRow()
+}
+
+// addSparse folds one row known only in the listed slots (codes[i] is
+// the value of slot slotIdx[i]); the rest stay unknown.
+func (b *zoneBuilder) addSparse(slotIdx []int, codes []int32) {
+	base := b.blockBase()
+	for i, s := range slotIdx {
+		c := codes[i]
+		if c < b.lo[base+s] {
+			b.lo[base+s] = c
+		}
+		if c > b.hi[base+s] {
+			b.hi[base+s] = c
+		}
+	}
+	b.endRow()
+}
+
+// finish widens never-touched slots to the full range (unknown must not
+// prune), computes the per-slot sortedness bits, and returns the index
+// (nil when no rows were added).
+func (b *zoneBuilder) finish() *ZoneIndex {
+	if len(b.lo) == 0 {
+		return nil
+	}
+	for i := range b.lo {
+		if b.lo[i] > b.hi[i] {
+			b.lo[i] = zoneWideLo
+			b.hi[i] = zoneWideHi
+		}
+	}
+	z := &ZoneIndex{
+		BlockRows: int32(b.blockRows),
+		Slots:     int32(b.slots),
+		Lo:        b.lo,
+		Hi:        b.hi,
+	}
+	nb := z.NumBlocks()
+	if nb > 1 {
+		sorted := make([]bool, b.slots)
+		any := false
+		for s := 0; s < b.slots; s++ {
+			ok := true
+			for blk := 1; blk < nb; blk++ {
+				if z.Hi[(blk-1)*b.slots+s] > z.Lo[blk*b.slots+s] {
+					ok = false
+					break
+				}
+			}
+			sorted[s] = ok
+			any = any || ok
+		}
+		if any {
+			z.Sorted = sorted
+		}
+	}
+	return z
+}
+
+// buildZoneMaps runs after compaction (and CURE+ post-processing) with
+// the manifest already on disk: it re-reads every extent through a
+// Reader — guaranteeing block order matches query-time scan order, bitmap
+// expansion and CURE+ sorting included — resolves each tuple's
+// representative source row to codes at every dimension-level, and
+// attaches the per-extent zone maps to m's NodeMeta records. Cubes
+// written without a resolver (incremental merges) skip indexing.
+func (w *Writer) buildZoneMaps(m *Manifest) error {
+	blockRows := w.opts.ZoneBlockRows
+	if blockRows == 0 {
+		blockRows = DefaultZoneBlockRows
+	}
+	if blockRows < 0 || w.opts.Resolver == nil {
+		return nil
+	}
+	hier := w.opts.Hier
+	offs, slots := ZoneSlots(hier)
+	if slots == 0 {
+		return nil
+	}
+	r, err := OpenReader(w.opts.Dir)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	// Format (a) CAT rows reach their representative row through
+	// AGGREGATES; pin the relation for the pass.
+	var aggRaw []byte
+	if m.CatFormat == signature.FormatA && m.AggRows > 0 {
+		if aggRaw, err = r.AggregatesRaw(); err != nil {
+			return err
+		}
+	}
+	baseDims := make([]int32, hier.NumDims())
+	aggs := make([]float64, m.NumAggrs())
+	codes := make([]int32, slots)
+	resolve := func(rrowid int64) error {
+		if err := w.opts.Resolver(rrowid, baseDims); err != nil {
+			return fmt.Errorf("storage: zone map: resolving row %d: %w", rrowid, err)
+		}
+		for d, dim := range hier.Dims {
+			for l := 0; l < dim.AllLevel(); l++ {
+				codes[offs[d]+l] = dim.MapCode(baseDims[d], l)
+			}
+		}
+		return nil
+	}
+
+	cExtents := w.opts.Metrics.Counter("storage.zone.extents")
+	cBlocks := w.opts.Metrics.Counter("storage.zone.blocks")
+	record := func(z *ZoneIndex) *ZoneIndex {
+		if z != nil {
+			cExtents.Inc()
+			cBlocks.Add(int64(z.NumBlocks()))
+		}
+		return z
+	}
+
+	keys := make([]string, 0, len(m.Nodes))
+	for k := range m.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var levels []int
+	for _, k := range keys {
+		nm := m.Nodes[k]
+		idNum, err := strconv.ParseInt(k, 10, 64)
+		if err != nil {
+			return fmt.Errorf("storage: zone map: bad node key %q: %w", k, err)
+		}
+		id := lattice.NodeID(idNum)
+
+		if nm.NTRows >= int64(blockRows) {
+			zb := newZoneBuilder(blockRows, slots)
+			if m.DimsInline {
+				// DR rows carry codes only at the node's own levels; the
+				// other slots stay unknown.
+				levels = w.enum.Decode(id, levels)
+				slotIdx := make([]int, 0, len(levels))
+				for d, l := range levels {
+					if !hier.Dims[d].IsAll(l) {
+						slotIdx = append(slotIdx, offs[d]+l)
+					}
+				}
+				if err := r.NTRows(id, func(nt NTRow) error {
+					zb.addSparse(slotIdx, nt.Dims)
+					return nil
+				}); err != nil {
+					return err
+				}
+			} else {
+				if err := r.NTRows(id, func(nt NTRow) error {
+					if err := resolve(nt.RRowid); err != nil {
+						return err
+					}
+					zb.addAll(codes)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			nm.NTZones = record(zb.finish())
+		}
+
+		if nm.TTRows >= int64(blockRows) {
+			ids, err := r.TTRowIDs(id, nil)
+			if err != nil {
+				return err
+			}
+			zb := newZoneBuilder(blockRows, slots)
+			for _, rrowid := range ids {
+				if err := resolve(rrowid); err != nil {
+					return err
+				}
+				zb.addAll(codes)
+			}
+			nm.TTZones = record(zb.finish())
+		}
+
+		if nm.CATRows >= int64(blockRows) {
+			zb := newZoneBuilder(blockRows, slots)
+			if err := r.CATRows(id, func(cat CATRow) error {
+				rr := cat.RRowid
+				if rr < 0 {
+					// Format (a): the representative row-id lives in the
+					// AGGREGATES tuple — the same indirection queries take.
+					if aggRaw != nil {
+						rr = r.DecodeAggregate(aggRaw, cat.ARowid, aggs)
+					} else if rr, err = r.ReadAggregate(cat.ARowid, aggs); err != nil {
+						return err
+					}
+				}
+				if err := resolve(rr); err != nil {
+					return err
+				}
+				zb.addAll(codes)
+				return nil
+			}); err != nil {
+				return err
+			}
+			nm.CATZones = record(zb.finish())
+		}
+
+		m.Nodes[k] = nm
+	}
+	return nil
+}
