@@ -5,6 +5,7 @@
 //	curectl nodes -cube cube/
 //	curectl query -cube cube/ -levels "Class,Retailer,ALL,ALL" [-limit 20]
 //	curectl iceberg -cube cube/ -levels "Code,ALL,ALL,ALL" -min 100
+//	curectl explain -cube cube/ -levels "Class,ALL,ALL,ALL" [-where ...] [-analyze] [-json]
 //
 // The hierarchy spec is JSON: {"dims":[{"name":"Product","levels":
 // [{"name":"Code","card":6500},{"name":"Class","card":435}]}]}; roll-up
@@ -53,6 +54,8 @@ func main() {
 		cmdQuery(os.Args[2:], false)
 	case "iceberg":
 		cmdQuery(os.Args[2:], true)
+	case "explain":
+		cmdExplain(os.Args[2:])
 	case "import":
 		cmdImport(os.Args[2:])
 	case "update":
@@ -69,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|import|update|verify|diff|estimate [flags]")
+	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|explain|import|update|verify|diff|estimate [flags]")
 	os.Exit(2)
 }
 
@@ -303,12 +306,12 @@ func cmdNodes(args []string) {
 }
 
 // parseLevels turns "Class,Retailer,ALL,ALL" (names or indices) into a
-// level vector.
-func parseLevels(eng *query.Engine, s string) []int {
-	hier := eng.Hier()
+// level vector. Errors name the offending dimension or entry so a typo
+// in -levels is directly actionable.
+func parseLevels(hier *hierarchy.Schema, s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	if len(parts) != hier.NumDims() {
-		fatalf("-levels needs %d comma-separated entries (one per dimension)", hier.NumDims())
+		return nil, fmt.Errorf("-levels needs %d comma-separated entries (one per dimension), got %d", hier.NumDims(), len(parts))
 	}
 	levels := make([]int, len(parts))
 	for d, raw := range parts {
@@ -330,73 +333,76 @@ func parseLevels(eng *query.Engine, s string) []int {
 			}
 		}
 		if found < 0 {
-			fatalf("dimension %s has no level %q", dim.Name, raw)
+			return nil, fmt.Errorf("dimension %s has no level %q", dim.Name, raw)
 		}
 		levels[d] = found
 	}
-	return levels
+	return levels, nil
 }
 
 // parseWhere turns "Product.Class=3..7,Channel.Base=2" into predicates.
 // Each clause is dim.level=lo or dim.level=lo..hi; dimension and level
 // accept names or indices, codes are numeric.
-func parseWhere(eng *query.Engine, s string) []query.Predicate {
+func parseWhere(hier *hierarchy.Schema, s string) ([]query.Predicate, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
-	hier := eng.Hier()
-	findDim := func(raw string) int {
+	findDim := func(raw string) (int, error) {
 		if idx, err := strconv.Atoi(raw); err == nil && idx >= 0 && idx < hier.NumDims() {
-			return idx
+			return idx, nil
 		}
 		for d, dim := range hier.Dims {
 			if strings.EqualFold(dim.Name, raw) {
-				return d
+				return d, nil
 			}
 		}
-		fatalf("-where: unknown dimension %q", raw)
-		return -1
+		return -1, fmt.Errorf("-where: unknown dimension %q", raw)
 	}
-	findLevel := func(d int, raw string) int {
+	findLevel := func(d int, raw string) (int, error) {
 		dim := hier.Dims[d]
 		if idx, err := strconv.Atoi(raw); err == nil && idx >= 0 && idx <= dim.AllLevel() {
-			return idx
+			return idx, nil
 		}
 		for l := 0; l <= dim.AllLevel(); l++ {
 			if strings.EqualFold(dim.LevelName(l), raw) {
-				return l
+				return l, nil
 			}
 		}
-		fatalf("-where: dimension %s has no level %q", dim.Name, raw)
-		return -1
+		return -1, fmt.Errorf("-where: dimension %s has no level %q", dim.Name, raw)
 	}
 	var preds []query.Predicate
 	for _, clause := range strings.Split(s, ",") {
 		clause = strings.TrimSpace(clause)
 		target, rng, ok := strings.Cut(clause, "=")
 		if !ok {
-			fatalf("-where: clause %q is not dim.level=lo[..hi]", clause)
+			return nil, fmt.Errorf("-where: clause %q is not dim.level=lo[..hi]", clause)
 		}
 		dimRaw, levelRaw, ok := strings.Cut(strings.TrimSpace(target), ".")
 		if !ok {
-			fatalf("-where: clause %q names no level (want dim.level=...)", clause)
+			return nil, fmt.Errorf("-where: clause %q names no level (want dim.level=...)", clause)
 		}
-		d := findDim(strings.TrimSpace(dimRaw))
-		level := findLevel(d, strings.TrimSpace(levelRaw))
+		d, err := findDim(strings.TrimSpace(dimRaw))
+		if err != nil {
+			return nil, err
+		}
+		level, err := findLevel(d, strings.TrimSpace(levelRaw))
+		if err != nil {
+			return nil, err
+		}
 		loRaw, hiRaw, ranged := strings.Cut(strings.TrimSpace(rng), "..")
 		lo, err := strconv.ParseInt(strings.TrimSpace(loRaw), 10, 32)
 		if err != nil {
-			fatalf("-where: bad code %q in %q", loRaw, clause)
+			return nil, fmt.Errorf("-where: bad code %q in %q", loRaw, clause)
 		}
 		hi := lo
 		if ranged {
 			if hi, err = strconv.ParseInt(strings.TrimSpace(hiRaw), 10, 32); err != nil {
-				fatalf("-where: bad code %q in %q", hiRaw, clause)
+				return nil, fmt.Errorf("-where: bad code %q in %q", hiRaw, clause)
 			}
 		}
 		preds = append(preds, query.Predicate{Dim: d, Level: level, Lo: int32(lo), Hi: int32(hi)})
 	}
-	return preds
+	return preds, nil
 }
 
 func cmdQuery(args []string, iceberg bool) {
@@ -413,7 +419,7 @@ func cmdQuery(args []string, iceberg bool) {
 	if *cube == "" {
 		fatalf("missing -cube")
 	}
-	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry(), NoIndex: *noIndex})
+	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry(), Queries: obs.Queries(), NoIndex: *noIndex})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -421,7 +427,10 @@ func cmdQuery(args []string, iceberg bool) {
 	if *levelsFlag == "" {
 		fatalf("missing -levels")
 	}
-	levels := parseLevels(eng, *levelsFlag)
+	levels, err := parseLevels(eng.Hier(), *levelsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	id := eng.Enum().Encode(levels)
 	if err := obs.Start(os.Stderr); err != nil {
 		fatalf("%v", err)
@@ -471,7 +480,10 @@ func cmdQuery(args []string, iceberg bool) {
 		}
 		return nil
 	}
-	preds := parseWhere(eng, *whereFlag)
+	preds, err := parseWhere(eng.Hier(), *whereFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if iceberg {
 		if len(preds) > 0 {
 			fatalf("-where is not supported with iceberg queries")
@@ -502,6 +514,105 @@ func cmdQuery(args []string, iceberg bool) {
 		diag(" … and %d more rows\n", total-printed)
 	}
 	diag("%d rows\n", total)
+}
+
+// cmdExplain plans (and with -analyze, runs) one node query and renders
+// the plan: extents in execution order, zone-map pruning verdicts with
+// the kept row ranges, access paths, and estimated vs actual rows and
+// bytes.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory")
+	levelsFlag := fs.String("levels", "", "one level per dimension, by name/index/ALL")
+	whereFlag := fs.String("where", "", `selection clauses "dim.level=lo[..hi]", comma-separated`)
+	analyze := fs.Bool("analyze", false, "run the query and report actual rows, time, and I/O")
+	asJSON := fs.Bool("json", false, "emit the plan as JSON instead of a tree")
+	noIndex := fs.Bool("no-index", false, "disable zone-map block pruning (full extent scans)")
+	obs := obsv.RegisterFlags(fs)
+	fs.Parse(args)
+	if *cube == "" {
+		fatalf("missing -cube")
+	}
+	if *levelsFlag == "" {
+		fatalf("missing -levels")
+	}
+	eng, err := query.Open(*cube, query.Options{CacheFraction: 1, PinAggregates: true, Metrics: obs.Registry(), Queries: obs.Queries(), NoIndex: *noIndex})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer eng.Close()
+	levels, err := parseLevels(eng.Hier(), *levelsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	preds, err := parseWhere(eng.Hier(), *whereFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := obs.Start(os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
+	id := eng.Enum().Encode(levels)
+	plan, err := eng.Explain(id, preds, *analyze)
+	if ferr := obs.Finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(plan); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	renderPlan(plan)
+}
+
+// renderPlan prints a plan as a tree on stdout.
+func renderPlan(p *query.Plan) {
+	fmt.Printf("EXPLAIN %s node %d (%s)\n", p.Op, p.Node, p.NodeName)
+	if p.Where != "" {
+		fmt.Printf(" where %s\n", p.Where)
+	}
+	if p.NoIndex {
+		fmt.Println(" zone-map pruning disabled (-no-index)")
+	}
+	for i, ext := range p.Extents {
+		branch := "├─"
+		if i == len(p.Extents)-1 {
+			branch = "└─"
+		}
+		fmt.Printf(" %s %-3s node %-6d %-28s rows %-8d scan %-8d %-11s est %d B\n",
+			branch, ext.Relation, ext.Node, ext.NodeName, ext.Rows, ext.ScanRows, ext.Access, ext.EstBytes)
+		if z := ext.Zones; z != nil {
+			cont := "│"
+			if i == len(p.Extents)-1 {
+				cont = " "
+			}
+			fmt.Printf(" %s    zones: %d blocks, %d kept, %d skipped", cont, z.Blocks, z.Kept, z.Skipped)
+			if z.Narrowed {
+				fmt.Printf(" (sorted-slot narrowing)")
+			}
+			if len(z.Ranges) > 0 && len(z.Ranges) <= 8 {
+				fmt.Printf("; ranges")
+				for _, rg := range z.Ranges {
+					fmt.Printf(" [%d,%d)", rg.Lo, rg.Hi)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf(" estimate: %d rows scanned, %d bytes read\n", p.EstScanRows, p.EstBytes)
+	if a := p.Actual; a != nil {
+		fmt.Printf(" actual (query %d): %d rows in %dus\n", p.QueryID, a.Rows, a.ElapsedUs)
+		fmt.Printf("  io: %d bytes in %d reads; cache %d hits / %d faults\n",
+			a.IO.BytesRead, a.IO.Reads, a.IO.CacheHits, a.IO.PagesFaulted)
+		fmt.Printf("  scanned: tt %d, nt %d, cat %d; zones kept %d, skipped %d\n",
+			a.IO.TTScanned, a.IO.NTScanned, a.IO.CATScanned, a.IO.ZoneBlocksKept, a.IO.ZoneBlocksSkipped)
+	}
 }
 
 // cmdImport loads a CSV file into the binary fact format, writing the

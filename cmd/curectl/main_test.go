@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cure/internal/core"
+	"cure/internal/hierarchy"
+	"cure/internal/relation"
+)
+
+func testHier(t *testing.T) *hierarchy.Schema {
+	t.Helper()
+	m := hierarchy.BuildContiguousMap(8, 2)
+	a, err := hierarchy.NewLinearDim("Product", []string{"Code", "Class"}, []int32{8, 2}, [][]int32{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := hierarchy.NewSchema(a, hierarchy.NewFlatDim("Outlet", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hier
+}
+
+func TestParseLevelsErrors(t *testing.T) {
+	hier := testHier(t)
+	cases := []struct {
+		in, want string
+	}{
+		{"0", "needs 2 comma-separated entries"},
+		{"0,0,0", "needs 2 comma-separated entries"},
+		{"Bogus,0", `dimension Product has no level "Bogus"`},
+		{"0,9", `dimension Outlet has no level "9"`},
+		{"-1,0", `dimension Product has no level "-1"`},
+	}
+	for _, tc := range cases {
+		if _, err := parseLevels(hier, tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseLevels(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+	levels, err := parseLevels(hier, "Class,ALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[0] != 1 || levels[1] != hier.Dims[1].AllLevel() {
+		t.Fatalf("parseLevels(Class,ALL) = %v", levels)
+	}
+}
+
+func TestParseWhereErrors(t *testing.T) {
+	hier := testHier(t)
+	cases := []struct {
+		in, want string
+	}{
+		{"Nope.Class=1", `unknown dimension "Nope"`},
+		{"Product.Bogus=1", `dimension Product has no level "Bogus"`},
+		{"Product.Class", "is not dim.level=lo[..hi]"},
+		{"Product=3", "names no level"},
+		{"Product.Class=abc", `bad code "abc"`},
+		{"Product.Class=1..xyz", `bad code "xyz"`},
+	}
+	for _, tc := range cases {
+		if _, err := parseWhere(hier, tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseWhere(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+	preds, err := parseWhere(hier, "Product.Class=1, Outlet.0=0..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 || preds[0].Level != 1 || preds[1].Hi != 2 {
+		t.Fatalf("parseWhere = %+v", preds)
+	}
+	if preds2, err := parseWhere(hier, ""); err != nil || preds2 != nil {
+		t.Fatalf("empty -where = %+v, %v", preds2, err)
+	}
+}
+
+var (
+	curectlOnce sync.Once
+	curectlBin  string
+	curectlErr  error
+)
+
+// buildCurectl compiles the curectl binary once per test run.
+func buildCurectl(t *testing.T) string {
+	t.Helper()
+	curectlOnce.Do(func() {
+		dir, err := filepath.Abs(t.TempDir())
+		if err != nil {
+			curectlErr = err
+			return
+		}
+		curectlBin = filepath.Join(dir, "curectl")
+		out, err := exec.Command("go", "build", "-o", curectlBin, ".").CombinedOutput()
+		if err != nil {
+			curectlErr = err
+			t.Logf("go build: %s", out)
+		}
+	})
+	if curectlErr != nil {
+		t.Fatalf("building curectl: %v", curectlErr)
+	}
+	return curectlBin
+}
+
+func buildTestCube(t *testing.T) string {
+	t.Helper()
+	hier := testHier(t)
+	schema := &relation.Schema{DimNames: []string{"Product", "Outlet"}, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, 64)
+	for i := 0; i < 64; i++ {
+		ft.Append([]int32{int32(i % 8), int32(i % 4)}, []float64{float64(i)})
+	}
+	dir := filepath.Join(t.TempDir(), "cube")
+	if _, err := core.BuildFromTable(ft, core.Options{
+		Dir: dir, Hier: hier,
+		AggSpecs: []relation.AggSpec{{Func: relation.AggSum, Measure: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCLIQueryBadInput runs the real binary: a malformed node path or
+// predicate must exit non-zero with a diagnostic on stderr, and a valid
+// query must exit zero.
+func TestCLIQueryBadInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	bin := buildCurectl(t)
+	cube := buildTestCube(t)
+
+	cases := []struct {
+		args   []string
+		stderr string
+	}{
+		{[]string{"query", "-cube", cube, "-levels", "Bogus,0"}, "has no level"},
+		{[]string{"query", "-cube", cube, "-levels", "0"}, "needs 2 comma-separated entries"},
+		{[]string{"query", "-cube", cube, "-levels", "0,0", "-where", "Nope.Class=1"}, "unknown dimension"},
+		{[]string{"query", "-cube", cube, "-levels", "0,0", "-where", "Product.Class=abc"}, "bad code"},
+		{[]string{"explain", "-cube", cube, "-levels", "0,0", "-where", "garbage"}, "-where"},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(bin, tc.args...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		if err == nil {
+			t.Errorf("curectl %v exited zero on bad input", tc.args)
+			continue
+		}
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+			t.Errorf("curectl %v: %v", tc.args, err)
+		}
+		if !strings.Contains(stderr.String(), "curectl: ") || !strings.Contains(stderr.String(), tc.stderr) {
+			t.Errorf("curectl %v stderr = %q, want it to contain %q", tc.args, stderr.String(), tc.stderr)
+		}
+	}
+
+	// The happy paths still exit zero.
+	for _, args := range [][]string{
+		{"query", "-cube", cube, "-levels", "0,0", "-where", "Product.Class=1"},
+		{"explain", "-cube", cube, "-levels", "0,0", "-where", "Product.Class=1", "-analyze"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Errorf("curectl %v failed: %v\n%s", args, err, out)
+		}
+	}
+}

@@ -113,8 +113,9 @@ func (h *Harness) runThroughput() (map[string]*Result, error) {
 	for _, noIndex := range arms {
 		for _, c := range []int{1, 4, 16} {
 			reg := obsv.NewRegistry()
+			tracker := obsv.NewQueryTracker(reg, 64)
 			eng, err := query.Open(dir, query.Options{
-				CacheFraction: 1, PinAggregates: true, Metrics: reg, NoIndex: noIndex,
+				CacheFraction: 1, PinAggregates: true, Metrics: reg, Queries: tracker, NoIndex: noIndex,
 			})
 			if err != nil {
 				return nil, err
@@ -154,6 +155,16 @@ func (h *Harness) runThroughput() (map[string]*Result, error) {
 			}
 			if lat == nil || lat.Count == 0 {
 				return nil, fmt.Errorf("bench: throughput arm recorded no query latencies")
+			}
+			// Per-query tracking rides along on every arm: after the run
+			// nothing may remain in-flight and the recent ring must hold
+			// completed records — a cheap liveness check on the tracker
+			// under C-way concurrency.
+			if n := len(tracker.Inflight()); n != 0 {
+				return nil, fmt.Errorf("bench: %d queries still in-flight after throughput arm", n)
+			}
+			if len(tracker.Recent()) == 0 {
+				return nil, fmt.Errorf("bench: throughput arm recorded no completed queries")
 			}
 			arm := "zone maps"
 			phase := fmt.Sprintf("query/throughput.c%d", c)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 )
 
@@ -12,21 +13,26 @@ import (
 // profiles, a periodic progress reporter, the runtime sampler, and the
 // live telemetry server.
 type CLI struct {
-	MetricsOut  string
-	TraceOut    string
-	CPUProfile  string
-	MemProfile  string
-	Progress    bool
-	ServeAddr   string
-	ServeHold   time.Duration
-	SampleEvery time.Duration
+	MetricsOut    string
+	TraceOut      string
+	TraceMaxBytes int64
+	CPUProfile    string
+	MemProfile    string
+	Progress      bool
+	ServeAddr     string
+	ServeHold     time.Duration
+	SampleEvery   time.Duration
+	SlowQueryMs   int64
+	SlowQueryOut  string
 
 	reg          *Registry
 	closeTrace   func() error
+	closeSlow    func() error
 	stopCPU      func()
 	stopProgress func()
 	sampler      *Sampler
 	server       *Server
+	queries      *QueryTracker
 }
 
 // RegisterFlags registers the standard observability flags on fs and
@@ -35,23 +41,37 @@ func RegisterFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write metrics snapshot JSON to file ('-' = stdout)")
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write JSONL plan-traversal trace to file ('-' = stdout)")
+	fs.Int64Var(&c.TraceMaxBytes, "trace-max-bytes", 0, "cap -trace-out at this many bytes, dropping further events (0 = unlimited)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write CPU profile to file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write heap profile to file")
 	fs.BoolVar(&c.Progress, "progress", false, "report build progress to stderr every 2s")
 	fs.StringVar(&c.ServeAddr, "serve", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof)")
 	fs.DurationVar(&c.ServeHold, "serve-hold", 0, "keep the -serve telemetry server up this long after the work finishes")
 	fs.DurationVar(&c.SampleEvery, "sample-every", 0, "runtime sampler interval (default 250ms when -serve is set, off otherwise)")
+	fs.Int64Var(&c.SlowQueryMs, "slow-query-ms", -1, "log queries at least this slow as JSONL (0 = log every query, -1 = off)")
+	fs.StringVar(&c.SlowQueryOut, "slow-query-out", "", "slow-query JSONL sink ('-' = stdout, default stderr)")
 	return c
 }
 
 // Registry returns the registry the flags call for: a live one when any
-// metrics, trace, progress, serve, or sampling flag was given, nil
-// (zero-overhead) otherwise.
+// metrics, trace, progress, serve, sampling, or slow-query flag was
+// given, nil (zero-overhead) otherwise.
 func (c *CLI) Registry() *Registry {
-	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress || c.ServeAddr != "" || c.SampleEvery > 0) {
+	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress || c.ServeAddr != "" || c.SampleEvery > 0 || c.SlowQueryMs >= 0) {
 		c.reg = NewRegistry()
 	}
 	return c.reg
+}
+
+// Queries returns the query tracker the flags call for: live when a
+// registry is live (so /queries, the slow-query log, and the
+// query.inflight gauge all work), nil otherwise. Pass it to
+// query.Options.Queries.
+func (c *CLI) Queries() *QueryTracker {
+	if c.queries == nil && c.Registry() != nil {
+		c.queries = NewQueryTracker(c.reg, 0)
+	}
+	return c.queries
 }
 
 // Start opens the trace sink, begins CPU profiling, launches the
@@ -65,8 +85,28 @@ func (c *CLI) Start(progressW io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if c.TraceMaxBytes > 0 {
+			tw.SetMaxBytes(c.TraceMaxBytes)
+			tw.SetDropCounter(c.Registry().Counter("trace.dropped"))
+		}
 		c.Registry().SetTrace(tw)
 		c.closeTrace = closeFn
+	}
+	if c.SlowQueryMs >= 0 {
+		var sw *TraceWriter
+		if c.SlowQueryOut == "" {
+			sw = NewTraceWriter(os.Stderr)
+			c.closeSlow = sw.Flush
+		} else {
+			var closeFn func() error
+			var err error
+			sw, closeFn, err = OpenTraceFile(c.SlowQueryOut)
+			if err != nil {
+				return err
+			}
+			c.closeSlow = closeFn
+		}
+		c.Queries().SetSlowLog(sw, time.Duration(c.SlowQueryMs)*time.Millisecond)
 	}
 	if c.CPUProfile != "" {
 		stop, err := StartCPUProfile(c.CPUProfile)
@@ -82,12 +122,12 @@ func (c *CLI) Start(progressW io.Writer) error {
 		c.sampler = StartSampler(c.Registry(), SamplerOptions{Interval: c.SampleEvery})
 	}
 	if c.ServeAddr != "" {
-		srv, err := StartServer(c.ServeAddr, c.Registry(), ServerOptions{Sampler: c.sampler})
+		srv, err := StartServer(c.ServeAddr, c.Registry(), ServerOptions{Sampler: c.sampler, Queries: c.Queries()})
 		if err != nil {
 			return err
 		}
 		c.server = srv
-		fmt.Fprintf(progressW, "telemetry: serving http://%s/{metrics,healthz,progress,debug/pprof}\n", srv.Addr())
+		fmt.Fprintf(progressW, "telemetry: serving http://%s/{metrics,healthz,progress,queries,debug/pprof}\n", srv.Addr())
 	}
 	return nil
 }
@@ -127,6 +167,11 @@ func (c *CLI) Finish() error {
 	}
 	if c.closeTrace != nil {
 		if err := c.closeTrace(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.closeSlow != nil {
+		if err := c.closeSlow(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -44,10 +44,19 @@ func PromName(name string) string {
 	return b.String()
 }
 
-// promEscape escapes a label value per the exposition format.
+// promEscape escapes a label value per the exposition format: backslash,
+// newline, and double quote become \\, \n, and \". promUnescape inverts
+// it; WriteProm → ParseProm → ParseLabels round-trips any value.
 func promEscape(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
 	return r.Replace(v)
+}
+
+// promLabel renders one name="value" pair with exposition-format
+// escaping. (Not %q: Go quoting escapes the escapes promEscape already
+// applied, which double-encodes backslashes and newlines.)
+func promLabel(name, value string) string {
+	return name + `="` + promEscape(value) + `"`
 }
 
 // WriteProm renders the snapshot in the Prometheus text exposition
@@ -126,7 +135,7 @@ func WriteProm(w io.Writer, s *Snapshot) error {
 		series := make([]promSeries, 0, len(elapsed))
 		for path, v := range elapsed {
 			series = append(series, promSeries{
-				labels: fmt.Sprintf(`{path=%q}`, promEscape(path)),
+				labels: "{" + promLabel("path", path) + "}",
 				value:  v,
 			})
 		}
@@ -139,7 +148,7 @@ func WriteProm(w io.Writer, s *Snapshot) error {
 				}
 				path, dir, _ := strings.Cut(key, "|")
 				series = append(series, promSeries{
-					labels: fmt.Sprintf(`{path=%q,direction=%q}`, promEscape(path), dir),
+					labels: "{" + promLabel("path", path) + "," + promLabel("direction", dir) + "}",
 					value:  v,
 				})
 			}
@@ -232,6 +241,78 @@ func ParseProm(r io.Reader) (map[string]PromMetric, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ParseLabels parses a raw label block as returned in PromMetric.Labels
+// ("{name=\"value\",...}" or "") into a name → unescaped-value map. It
+// scans character by character — escaped values may contain commas,
+// braces, and quotes, so splitting on delimiters would corrupt them.
+func ParseLabels(block string) (map[string]string, error) {
+	out := map[string]string{}
+	if block == "" {
+		return out, nil
+	}
+	if len(block) < 2 || block[0] != '{' || block[len(block)-1] != '}' {
+		return nil, fmt.Errorf("prom: label block %q not brace-delimited", block)
+	}
+	s := block[1 : len(block)-1]
+	i := 0
+	for i < len(s) {
+		// Label name up to '='.
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) || j == i {
+			return nil, fmt.Errorf("prom: malformed label pair at %q", s[i:])
+		}
+		name := s[i:j]
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("prom: label %q value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("prom: label %q has dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case 'n':
+					b.WriteByte('\n')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return nil, fmt.Errorf("prom: label %q has unknown escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("prom: label %q value unterminated", name)
+		}
+		out[name] = b.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("prom: expected ',' after label %q", name)
+			}
+			i++
+		}
 	}
 	return out, nil
 }

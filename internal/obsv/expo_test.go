@@ -127,3 +127,88 @@ func TestParsePromRejectsGarbage(t *testing.T) {
 		t.Fatalf("parsed = %+v", metrics)
 	}
 }
+
+func TestPromLabelEscapeRoundTrip(t *testing.T) {
+	// Fuzz-style table: every value a span path could plausibly carry,
+	// including the three characters the exposition format escapes
+	// (backslash, newline, double quote) and the delimiters the label
+	// scanner must not split on (commas, braces). Each value goes
+	// registry → WriteProm → ParseProm → ParseLabels and must come back
+	// byte-identical.
+	values := []string{
+		"plain",
+		`back\slash`,
+		`trailing\`,
+		"new\nline",
+		`quo"te`,
+		"comma,inside",
+		"brace{open",
+		"brace}close",
+		`\n`, // literal backslash-n, must not turn into a newline
+		"mix\\\"ed,\nall{of}it",
+	}
+	for _, v := range values {
+		r := NewRegistry()
+		sp := r.StartSpan(v)
+		sp.End()
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, r.Snapshot()); err != nil {
+			t.Fatalf("%q: WriteProm: %v", v, err)
+		}
+		metrics, err := ParseProm(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%q: ParseProm: %v\n%s", v, err, buf.String())
+		}
+		var found bool
+		for _, m := range metrics {
+			if m.Name != "cure_span_elapsed_seconds" {
+				continue
+			}
+			found = true
+			labels, err := ParseLabels(m.Labels)
+			if err != nil {
+				t.Fatalf("%q: ParseLabels(%q): %v", v, m.Labels, err)
+			}
+			if got := labels["path"]; got != v {
+				t.Errorf("path label round-trip: got %q, want %q (wire %q)", got, v, m.Labels)
+			}
+		}
+		if !found {
+			t.Fatalf("%q: no cure_span_elapsed_seconds series in:\n%s", v, buf.String())
+		}
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	labels, err := ParseLabels(`{a="x",b="y,z",c="q\"w",d="p\\q",e="l\nm"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "x", "b": "y,z", "c": `q"w`, "d": `p\q`, "e": "l\nm"}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %+v", labels)
+	}
+	for k, v := range want {
+		if labels[k] != v {
+			t.Errorf("label %s = %q, want %q", k, labels[k], v)
+		}
+	}
+	if empty, err := ParseLabels(""); err != nil || len(empty) != 0 {
+		t.Fatalf("empty block: %v %+v", err, empty)
+	}
+	bad := []string{
+		`a="x"`,          // no braces
+		`{a=x}`,          // unquoted value
+		`{a="x}`,         // unterminated value
+		`{a="x\q"}`,      // unknown escape
+		`{a="x\"}`,       // escape eats the closing quote
+		`{a="x""b"="y"}`, // missing comma separator
+		`{="x"}`,         // empty name
+		`{a}`,            // no '='
+	}
+	for _, block := range bad {
+		if _, err := ParseLabels(block); err == nil {
+			t.Errorf("ParseLabels accepted %q", block)
+		}
+	}
+}

@@ -409,3 +409,53 @@ func TestConcurrentSegSpans(t *testing.T) {
 		t.Fatalf("phase totals missing merged seg path: %v", totals)
 	}
 }
+
+func TestTraceWriterMaxBytes(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	r := NewRegistry()
+	tw.SetDropCounter(r.Counter("trace.dropped"))
+
+	// Measure one event line, then budget for exactly two.
+	var pb bytes.Buffer
+	pw := NewTraceWriter(&pb)
+	pw.Emit(NodeEvent{Ev: "node", Node: 1, Rows: 1, Depth: 1})
+	pw.Flush()
+	lineLen := int64(pb.Len())
+	tw.SetMaxBytes(2 * lineLen)
+
+	for i := 0; i < 5; i++ {
+		tw.Emit(NodeEvent{Ev: "node", Node: 1, Rows: 1, Depth: 1})
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() != 2 {
+		t.Fatalf("events written = %d, want 2", tw.Events())
+	}
+	if tw.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tw.Dropped())
+	}
+	if c := r.Counter("trace.dropped").Value(); c != 3 {
+		t.Fatalf("trace.dropped counter = %d, want 3", c)
+	}
+	if int64(buf.Len()) > 2*lineLen {
+		t.Fatalf("sink holds %d bytes, budget was %d", buf.Len(), 2*lineLen)
+	}
+	// The surviving lines are intact JSON — the cap drops whole events,
+	// never truncates one.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev NodeEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("kept line %q not JSON: %v", line, err)
+		}
+	}
+
+	// Nil writer stays inert with the new methods too.
+	var nilTW *TraceWriter
+	nilTW.SetMaxBytes(1)
+	nilTW.SetDropCounter(nil)
+	if nilTW.Dropped() != 0 {
+		t.Fatal("nil writer reported drops")
+	}
+}

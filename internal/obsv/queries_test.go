@@ -1,0 +1,173 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryTrackerNilIsNoOp(t *testing.T) {
+	var tr *QueryTracker
+	q := tr.Begin("node", 1, "n", "")
+	if q != nil {
+		t.Fatalf("nil tracker handed out %+v", q)
+	}
+	q.SetExtent(ExtentNT, 7) // no-op, must not panic
+	if q.ID() != 0 {
+		t.Fatalf("nil handle id = %d", q.ID())
+	}
+	tr.End(q, 0, nil, QueryIO{}, nil)
+	tr.SetSlowLog(nil, 0)
+	if tr.Inflight() != nil || tr.Recent() != nil {
+		t.Fatal("nil tracker returned non-nil snapshots")
+	}
+}
+
+func TestQueryTrackerLifecycle(t *testing.T) {
+	r := NewRegistry()
+	tr := NewQueryTracker(r, 4)
+
+	q1 := tr.Begin("node", 10, "Product.Class", "")
+	q2 := tr.Begin("where", 20, "Product.Code", "Product.Class=3")
+	if q1.ID() == q2.ID() || q1.ID() == 0 {
+		t.Fatalf("ids not distinct/monotonic: %d %d", q1.ID(), q2.ID())
+	}
+	q2.SetExtent(ExtentNT, 20)
+
+	inf := tr.Inflight()
+	if len(inf) != 2 || inf[0].ID != q1.ID() || inf[1].ID != q2.ID() {
+		t.Fatalf("inflight = %+v", inf)
+	}
+	if inf[1].Extent != "nt" || inf[1].ExtentNode != 20 || inf[1].Where == "" {
+		t.Fatalf("inflight extent = %+v", inf[1])
+	}
+	if g := r.Snapshot().Gauges["query.inflight"]; g != 2 {
+		t.Fatalf("inflight gauge = %d", g)
+	}
+
+	rec := tr.End(q2, 42, nil, QueryIO{BytesRead: 100, ZoneBlocksKept: 3}, nil)
+	if rec.ID != q2.ID() || rec.Rows != 42 || rec.IO.BytesRead != 100 || rec.Err != "" {
+		t.Fatalf("record = %+v", rec)
+	}
+	rec = tr.End(q1, 0, errors.New("boom"), QueryIO{}, nil)
+	if rec.Err != "boom" {
+		t.Fatalf("error record = %+v", rec)
+	}
+
+	snap := r.Snapshot()
+	if g := snap.Gauges["query.inflight"]; g != 0 {
+		t.Fatalf("inflight gauge after End = %d", g)
+	}
+	if c := snap.Counters["query.completed"]; c != 2 {
+		t.Fatalf("completed counter = %d", c)
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].ID != q2.ID() || recent[1].ID != q1.ID() {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestQueryTrackerRingWraps(t *testing.T) {
+	tr := NewQueryTracker(nil, 3)
+	for i := 0; i < 5; i++ {
+		q := tr.Begin("node", int64(i), "", "")
+		tr.End(q, int64(i), nil, QueryIO{}, nil)
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(recent))
+	}
+	// Oldest first: queries 3, 4, 5 (ids are 1-based).
+	for i, want := range []int64{3, 4, 5} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (recent=%+v)", i, recent[i].ID, want, recent)
+		}
+	}
+}
+
+func TestQueryTrackerSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	r := NewRegistry()
+	tr := NewQueryTracker(r, 8)
+	// Threshold 0: every completed query logs.
+	tr.SetSlowLog(tw, 0)
+	q := tr.Begin("node", 5, "Outlet.Retailer", "")
+	tr.End(q, 9, nil, QueryIO{BytesRead: 64}, map[string]int{"extents": 2})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("threshold-0 slow log is empty")
+	}
+	var rec QueryRecord
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow log line not JSON: %v (%q)", err, line)
+	}
+	if rec.Ev != "query" || rec.Rows != 9 || rec.IO.BytesRead != 64 || rec.Plan == nil {
+		t.Fatalf("slow record = %+v", rec)
+	}
+	if c := r.Snapshot().Counters["query.slow"]; c != 1 {
+		t.Fatalf("slow counter = %d", c)
+	}
+
+	// A high threshold keeps fast queries out of the sink.
+	buf.Reset()
+	tr.SetSlowLog(tw, time.Hour)
+	q = tr.Begin("node", 6, "", "")
+	tr.End(q, 0, nil, QueryIO{}, nil)
+	tw.Flush()
+	if buf.Len() != 0 {
+		t.Fatalf("fast query leaked into slow log: %q", buf.String())
+	}
+	if c := r.Snapshot().Counters["query.slow"]; c != 1 {
+		t.Fatalf("slow counter moved to %d", c)
+	}
+}
+
+func TestQueryTrackerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewQueryTracker(r, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := tr.Begin("node", int64(w), "n", "")
+				q.SetExtent(ExtentCAT, int64(i))
+				tr.Inflight() // concurrent readers
+				tr.End(q, 1, nil, QueryIO{BytesRead: 8}, nil)
+				tr.Recent()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(tr.Inflight()); n != 0 {
+		t.Fatalf("%d queries left in-flight", n)
+	}
+	snap := r.Snapshot()
+	if c := snap.Counters["query.completed"]; c != 400 {
+		t.Fatalf("completed = %d, want 400", c)
+	}
+	if g := snap.Gauges["query.inflight"]; g != 0 {
+		t.Fatalf("inflight gauge = %d", g)
+	}
+	if len(tr.Recent()) != 16 {
+		t.Fatalf("ring holds %d", len(tr.Recent()))
+	}
+}
+
+func TestExtentKindString(t *testing.T) {
+	cases := map[ExtentKind]string{ExtentNone: "", ExtentTT: "tt", ExtentNT: "nt", ExtentCAT: "cat"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("ExtentKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -14,6 +14,9 @@ import (
 type ServerOptions struct {
 	// Sampler, when set, contributes its time series to /progress.
 	Sampler *Sampler
+	// Queries, when set, backs the /queries endpoint with live
+	// per-query introspection.
+	Queries *QueryTracker
 	// ProgressInterval is the SSE emission cadence (default 1s).
 	ProgressInterval time.Duration
 }
@@ -25,6 +28,9 @@ type ServerOptions struct {
 //	GET /progress      JSON: progress line, snapshot, sampler series
 //	GET /progress      (Accept: text/event-stream or ?stream=1) SSE
 //	                   stream of progress lines
+//	GET /queries       JSON: in-flight queries + recent completed ring
+//	GET /queries      (Accept: text/event-stream or ?stream=1) SSE
+//	                   stream of the same document
 //	GET /debug/pprof/  the standard pprof handlers
 //
 // It serves snapshots of a live registry, so everything works mid-build;
@@ -33,6 +39,7 @@ type ServerOptions struct {
 type Server struct {
 	reg      *Registry
 	smp      *Sampler
+	queries  *QueryTracker
 	interval time.Duration
 	start    time.Time
 	ln       net.Listener
@@ -54,6 +61,7 @@ func StartServer(addr string, reg *Registry, opts ServerOptions) (*Server, error
 	s := &Server{
 		reg:      reg,
 		smp:      opts.Sampler,
+		queries:  opts.Queries,
 		interval: opts.ProgressInterval,
 		start:    time.Now(),
 		ln:       ln,
@@ -65,6 +73,7 @@ func StartServer(addr string, reg *Registry, opts ServerOptions) (*Server, error
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -123,6 +132,77 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		Snapshot:   s.reg.Snapshot(),
 		MemSeries:  s.smp.Series(),
 	})
+}
+
+// queriesJSON is the /queries document: the live in-flight table plus
+// the ring of recently completed query records.
+type queriesJSON struct {
+	ElapsedSec float64         `json:"elapsed_sec"`
+	Inflight   []InflightQuery `json:"inflight"`
+	Recent     []QueryRecord   `json:"recent"`
+}
+
+func (s *Server) queriesDoc() queriesJSON {
+	doc := queriesJSON{
+		ElapsedSec: time.Since(s.start).Seconds(),
+		Inflight:   s.queries.Inflight(),
+		Recent:     s.queries.Recent(),
+	}
+	if doc.Inflight == nil {
+		doc.Inflight = []InflightQuery{}
+	}
+	if doc.Recent == nil {
+		doc.Recent = []QueryRecord{}
+	}
+	return doc
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") || r.URL.Query().Get("stream") != "" {
+		s.streamQueries(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(s.queriesDoc())
+}
+
+// streamQueries emits one SSE "queries" event per interval carrying the
+// /queries JSON document, until the client hangs up.
+func (s *Server) streamQueries(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func() bool {
+		data, err := json.Marshal(s.queriesDoc())
+		if err != nil {
+			return false
+		}
+		_, werr := fmt.Fprintf(w, "event: queries\ndata: %s\n\n", data)
+		fl.Flush()
+		return werr == nil
+	}
+	if !emit() {
+		return
+	}
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			if !emit() {
+				return
+			}
+		}
+	}
 }
 
 // streamProgress emits one SSE "progress" event per interval carrying

@@ -232,7 +232,7 @@ func TestServerProgressSSE(t *testing.T) {
 }
 
 func TestCLIServeFlags(t *testing.T) {
-	c := &CLI{ServeAddr: "127.0.0.1:0", SampleEvery: 2 * time.Millisecond}
+	c := &CLI{ServeAddr: "127.0.0.1:0", SampleEvery: 2 * time.Millisecond, SlowQueryMs: -1}
 	var diag bytes.Buffer
 	if err := c.Start(&diag); err != nil {
 		t.Fatal(err)
@@ -256,5 +256,81 @@ func TestCLIServeFlags(t *testing.T) {
 	}
 	if !strings.Contains(diag.String(), "telemetry: serving") {
 		t.Fatalf("diag output = %q", diag.String())
+	}
+}
+
+func TestServerQueriesEndpoint(t *testing.T) {
+	r := NewRegistry()
+	tr := NewQueryTracker(r, 8)
+	done := tr.Begin("node", 3, "Product.Class", "")
+	tr.End(done, 12, nil, QueryIO{BytesRead: 96, ZoneBlocksSkipped: 4}, nil)
+	running := tr.Begin("where", 7, "Product.Code", "Product.Class=1")
+	running.SetExtent(ExtentNT, 7)
+	defer tr.End(running, 0, nil, QueryIO{}, nil)
+
+	srv := startTestServer(t, r, ServerOptions{Queries: tr, ProgressInterval: 5 * time.Millisecond})
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/queries")
+	if code != 200 {
+		t.Fatalf("/queries = %d", code)
+	}
+	var doc struct {
+		ElapsedSec float64         `json:"elapsed_sec"`
+		Inflight   []InflightQuery `json:"inflight"`
+		Recent     []QueryRecord   `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/queries not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Inflight) != 1 || doc.Inflight[0].Op != "where" || doc.Inflight[0].Extent != "nt" {
+		t.Fatalf("inflight = %+v", doc.Inflight)
+	}
+	if len(doc.Recent) != 1 || doc.Recent[0].Rows != 12 || doc.Recent[0].IO.ZoneBlocksSkipped != 4 {
+		t.Fatalf("recent = %+v", doc.Recent)
+	}
+
+	// SSE stream of the same document.
+	req, err := http.NewRequest("GET", base+"/queries", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var datas int
+	for sc.Scan() && datas < 2 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			datas++
+			if !strings.Contains(line, `"inflight"`) || !strings.Contains(line, `"recent"`) {
+				t.Fatalf("SSE data line %q missing queries document", line)
+			}
+		}
+	}
+	if datas < 2 {
+		t.Fatalf("SSE stream yielded %d data lines", datas)
+	}
+}
+
+func TestServerQueriesWithoutTracker(t *testing.T) {
+	// No tracker wired: the endpoint still answers with empty tables
+	// (nil tracker methods are no-ops), never a panic or a 500.
+	r := NewRegistry()
+	srv := startTestServer(t, r, ServerOptions{})
+	code, body := get(t, "http://"+srv.Addr()+"/queries")
+	if code != 200 {
+		t.Fatalf("/queries without tracker = %d", code)
+	}
+	if !strings.Contains(body, `"inflight": []`) || !strings.Contains(body, `"recent": []`) {
+		t.Fatalf("/queries without tracker = %s", body)
 	}
 }

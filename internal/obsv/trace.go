@@ -14,10 +14,14 @@ import (
 // (or Close the underlying file after Flush) when done. The nil
 // TraceWriter is a valid no-op.
 type TraceWriter struct {
-	mu     sync.Mutex
-	w      *bufio.Writer
-	err    error
-	events atomic.Int64
+	mu       sync.Mutex
+	w        *bufio.Writer
+	err      error
+	max      int64 // byte budget, 0 = unlimited
+	written  int64
+	events   atomic.Int64
+	dropped  atomic.Int64
+	cDropped *Counter
 }
 
 // NewTraceWriter wraps w as a JSONL trace sink.
@@ -25,8 +29,40 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	return &TraceWriter{w: bufio.NewWriterSize(w, 1<<16)}
 }
 
+// SetMaxBytes caps the total bytes the sink will ever write (0 =
+// unlimited). Events past the cap are dropped and counted instead of
+// written, so a long-running -serve-hold session cannot fill the disk.
+func (t *TraceWriter) SetMaxBytes(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.max = n
+}
+
+// SetDropCounter attaches a registry counter (conventionally
+// "trace.dropped") incremented once per event dropped at the cap.
+func (t *TraceWriter) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cDropped = c
+}
+
+// Dropped returns the number of events dropped at the byte cap.
+func (t *TraceWriter) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
 // Emit appends one event as a JSON line. Marshal or write errors are
-// sticky and reported by Flush; tracing never fails a build.
+// sticky and reported by Flush; tracing never fails a build. Past the
+// SetMaxBytes budget, events are dropped (and counted) instead.
 func (t *TraceWriter) Emit(ev any) {
 	if t == nil {
 		return
@@ -41,6 +77,11 @@ func (t *TraceWriter) Emit(ev any) {
 		t.err = err
 		return
 	}
+	if t.max > 0 && t.written+int64(len(data))+1 > t.max {
+		t.dropped.Add(1)
+		t.cDropped.Inc()
+		return
+	}
 	if _, err := t.w.Write(data); err != nil {
 		t.err = err
 		return
@@ -49,6 +90,7 @@ func (t *TraceWriter) Emit(ev any) {
 		t.err = err
 		return
 	}
+	t.written += int64(len(data)) + 1
 	t.events.Add(1)
 }
 

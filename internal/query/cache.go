@@ -98,14 +98,20 @@ func newFactCache(fr *relation.FactReader, fraction float64, reg *obsv.Registry)
 }
 
 // readRow copies the raw bytes of fact row rrowid into dst (rowWidth
-// bytes), reading through the cache. Safe for concurrent use.
-func (c *factCache) readRow(rrowid int64, dst []byte) error {
+// bytes), reading through the cache, attributing the access to q (nil
+// disables attribution). Safe for concurrent use — q belongs to the
+// calling query's goroutine.
+func (c *factCache) readRow(rrowid int64, dst []byte, q *qctx) error {
 	pageID := rrowid / cachePageRows
 	off := int(rrowid%cachePageRows) * c.rowWidth
 	if len(c.shards) == 0 {
 		// Caching disabled: read just the one row.
 		c.misses.Add(1)
 		c.cMisses.Inc()
+		if q != nil {
+			q.pagesFaulted++
+			q.io.Add(int64(c.rowWidth))
+		}
 		return c.fr.ReadRawAt(rrowid, 1, dst[:c.rowWidth])
 	}
 	s := &c.shards[pageID%int64(len(c.shards))]
@@ -116,6 +122,9 @@ func (c *factCache) readRow(rrowid int64, dst []byte) error {
 		s.mu.Unlock()
 		c.hits.Add(1)
 		c.cHits.Inc()
+		if q != nil {
+			q.cacheHits++
+		}
 		return nil
 	}
 	s.mu.Unlock()
@@ -131,6 +140,10 @@ func (c *factCache) readRow(rrowid int64, dst []byte) error {
 	data := make([]byte, int(count)*c.rowWidth)
 	if err := c.fr.ReadRawAt(first, int(count), data); err != nil {
 		return err
+	}
+	if q != nil {
+		q.pagesFaulted++
+		q.io.Add(int64(len(data)))
 	}
 	copy(dst, data[off:off+c.rowWidth])
 	s.mu.Lock()

@@ -2,6 +2,8 @@ package query
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"cure/internal/hierarchy"
@@ -30,6 +32,11 @@ type Options struct {
 	// hit/miss/eviction counters, per-query row counters, and a
 	// node-query latency histogram (microseconds). nil disables it.
 	Metrics *obsv.Registry
+	// Queries is the optional per-query tracker: every public query op
+	// registers itself in-flight, publishes the extent it is scanning,
+	// and lands a completed record (with I/O attribution) in the
+	// tracker's ring and slow-query log. nil disables tracking.
+	Queries *obsv.QueryTracker
 }
 
 // Engine answers queries over one materialized cube directory.
@@ -52,11 +59,16 @@ type Engine struct {
 	// public query op observes.
 	cIdxHits    *obsv.Counter
 	cIdxSkipped *obsv.Counter
+	cBytes      *obsv.Counter
 	cWhere      *obsv.Counter
 	hWhere      *obsv.Histogram
 	hQuery      *obsv.Histogram
 	noIndex     bool
 	zoneOffs    []int // dimension → first zone slot (storage.ZoneSlots)
+	// queries is the optional per-query tracker; qid numbers queries when
+	// no tracker is attached (EXPLAIN still wants a stable query id).
+	queries *obsv.QueryTracker
+	qid     atomic.Int64
 }
 
 // Open opens a cube directory for querying.
@@ -85,10 +97,12 @@ func Open(dir string, opts Options) (*Engine, error) {
 
 		cIdxHits:    opts.Metrics.Counter("query.index.hits"),
 		cIdxSkipped: opts.Metrics.Counter("query.index.blocks_skipped"),
+		cBytes:      opts.Metrics.Counter("query.bytes_read"),
 		cWhere:      opts.Metrics.Counter("query.where.count"),
 		hWhere:      opts.Metrics.Histogram("query.where.latency_us"),
 		hQuery:      opts.Metrics.Histogram("query.latency_us"),
 		noIndex:     opts.NoIndex,
+		queries:     opts.Queries,
 	}
 	e.zoneOffs, _ = storage.ZoneSlots(r.Hier())
 	opts.Metrics.Gauge("query.cache.fraction_pct").Set(int64(opts.CacheFraction * 100))
@@ -143,13 +157,140 @@ type Row struct {
 	RRowid int64
 }
 
+// qctx is the per-query attribution context: one per query, owned by
+// the single goroutine running it, threaded through scanNode down to
+// the storage reader and fact cache. Tallies are plain fields (no
+// atomics — concurrent queries each carry their own) and settle into
+// the engine's registry counters exactly once at query end, which is
+// what makes an EXPLAIN ANALYZE's actuals equal the cure_query_*
+// counter deltas observed around that query.
+type qctx struct {
+	id   int64
+	rows int64
+	io   storage.IOStats
+	// Fact-page cache treatment.
+	cacheHits    int64
+	pagesFaulted int64
+	// Rows visited per extent class (post zone-map pruning).
+	ttScanned  int64
+	ntScanned  int64
+	catScanned int64
+	// Zone-map pruning verdicts across the extents consulted.
+	zoneKept    int64
+	zoneSkipped int64
+	active      *obsv.ActiveQuery // tracker handle, nil without a tracker
+	plan        *Plan             // EXPLAIN ANALYZE attaches its plan here
+}
+
+// queryIO renders the tally as the record's I/O block.
+func (q *qctx) queryIO() obsv.QueryIO {
+	return obsv.QueryIO{
+		BytesRead:         q.io.BytesRead,
+		Reads:             q.io.Reads,
+		CacheHits:         q.cacheHits,
+		PagesFaulted:      q.pagesFaulted,
+		TTScanned:         q.ttScanned,
+		NTScanned:         q.ntScanned,
+		CATScanned:        q.catScanned,
+		ZoneBlocksKept:    q.zoneKept,
+		ZoneBlocksSkipped: q.zoneSkipped,
+	}
+}
+
+// beginQuery opens the per-query context: a fresh tally, a monotonic
+// query id, and (when a tracker is attached) the in-flight registration.
+func (e *Engine) beginQuery(op string, id lattice.NodeID, where string) *qctx {
+	q := &qctx{}
+	if e.queries != nil {
+		q.active = e.queries.Begin(op, int64(id), e.nodeName(id), where)
+		q.id = q.active.ID()
+	} else {
+		q.id = e.qid.Add(1)
+	}
+	return q
+}
+
+// endQuery settles the query's tallies into the registry counters
+// (exactly once per query) and completes the tracker record. Returns
+// err unchanged so callers can tail-call it.
+func (e *Engine) endQuery(q *qctx, err error) error {
+	e.cTTScan.Add(q.ttScanned)
+	e.cNTScan.Add(q.ntScanned)
+	e.cCATScan.Add(q.catScanned)
+	e.cIdxHits.Add(q.zoneKept)
+	e.cIdxSkipped.Add(q.zoneSkipped)
+	e.cBytes.Add(q.io.BytesRead)
+	e.cRows.Add(q.rows)
+	if e.queries != nil {
+		var plan any
+		if q.plan != nil {
+			plan = q.plan
+		}
+		e.queries.End(q.active, q.rows, err, q.queryIO(), plan)
+	}
+	return err
+}
+
+// nodeName renders a node as its grouped dimension levels
+// ("dim.Level,dim.Level", "ALL" for the apex) for query records.
+func (e *Engine) nodeName(id lattice.NodeID) string {
+	if !e.enum.Valid(id) {
+		return ""
+	}
+	levels := e.enum.Decode(id, nil)
+	hier := e.r.Hier()
+	var b strings.Builder
+	for d, l := range levels {
+		if hier.Dims[d].IsAll(l) {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(hier.Dims[d].Name)
+		b.WriteByte('.')
+		b.WriteString(hier.Dims[d].LevelName(l))
+	}
+	if b.Len() == 0 {
+		return "ALL"
+	}
+	return b.String()
+}
+
+// whereString renders validated predicates for query records
+// ("dim.Level=code" / "dim.Level in [lo,hi]", " and "-joined).
+func (e *Engine) whereString(preds []Predicate) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	hier := e.r.Hier()
+	var b strings.Builder
+	for i, p := range preds {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		d := hier.Dims[p.Dim]
+		b.WriteString(d.Name)
+		b.WriteByte('.')
+		b.WriteString(d.LevelName(p.Level))
+		if p.Lo == p.Hi {
+			fmt.Fprintf(&b, "=%d", p.Lo)
+		} else {
+			fmt.Fprintf(&b, " in [%d,%d]", p.Lo, p.Hi)
+		}
+	}
+	return b.String()
+}
+
 // NodeQuery streams every tuple of node id to fn. The Row passed to fn
 // reuses internal buffers. This is the "node query, no selection"
 // workload of the paper's §7. Safe for concurrent use — any number of
 // goroutines may query one Engine simultaneously.
 func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
+	q := e.beginQuery("node", id, "")
+	cfn := func(r Row) error { q.rows++; return fn(r) }
 	if e.reg == nil {
-		return e.nodeQuery(id, fn)
+		return e.endQuery(q, e.nodeQuery(id, q, cfn))
 	}
 	// Each instrumented query is a root span, so in-flight queries show
 	// up in /metrics and /progress next to build phases. The registry
@@ -157,22 +298,20 @@ func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	sp := e.reg.StartSpan("query.node")
 	defer sp.End()
 	start := time.Now()
-	var rows int64
-	err := e.nodeQuery(id, func(r Row) error { rows++; return fn(r) })
-	sp.AddRowsOut(rows)
+	err := e.nodeQuery(id, q, cfn)
+	sp.AddRowsOut(q.rows)
 	e.cQueries.Inc()
-	e.cRows.Add(rows)
 	us := time.Since(start).Microseconds()
 	e.hLatency.Observe(us)
 	e.hQuery.Observe(us)
-	return err
+	return e.endQuery(q, err)
 }
 
-func (e *Engine) nodeQuery(id lattice.NodeID, fn func(Row) error) error {
+func (e *Engine) nodeQuery(id lattice.NodeID, q *qctx, fn func(Row) error) error {
 	if !e.enum.Valid(id) {
 		return fmt.Errorf("query: invalid node id %d", id)
 	}
-	return e.scanNode(id, e.enum.Decode(id, nil), nil, fn)
+	return e.scanNode(id, e.enum.Decode(id, nil), nil, q, fn)
 }
 
 // scanFilter is a per-query selection threaded through scanNode: the
@@ -185,10 +324,11 @@ type scanFilter struct {
 	drPos []int
 }
 
-// scanNode streams the tuples of node id through the optional filter.
-// All scratch state is per-call, so concurrent scans never share
-// mutable memory.
-func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn func(Row) error) error {
+// scanNode streams the tuples of node id through the optional filter,
+// attributing every read, cache access, and pruning verdict to q. All
+// scratch state is per-call, so concurrent scans never share mutable
+// memory.
+func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, q *qctx, fn func(Row) error) error {
 	hier := e.r.Hier()
 	activeDims := make([]int, 0, len(levels))
 	for d, l := range levels {
@@ -206,7 +346,7 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 	specs := e.r.Manifest().AggSpecs
 
 	project := func(rrowid int64) error {
-		if err := e.cache.readRow(rrowid, rawBuf); err != nil {
+		if err := e.cache.readRow(rrowid, rawBuf, q); err != nil {
 			return err
 		}
 		e.fact.DecodeRow(rawBuf, baseDims, baseMeas)
@@ -240,31 +380,24 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 	}
 	// prune lowers the filter onto one extent's zone map; a nil result
 	// means scan everything (no filter, no map, or indexing disabled).
+	// Verdicts tally into q and settle into the registry at query end.
 	prune := func(z *storage.ZoneIndex, rows int64) []storage.RowRange {
 		if f == nil || len(f.zp) == 0 || z == nil || e.noIndex {
 			return nil
 		}
-		ranges, kept, skipped := storage.PruneZones(z, rows, f.zp)
-		e.cIdxHits.Add(int64(kept))
-		e.cIdxSkipped.Add(int64(skipped))
+		ranges, st := storage.PruneZonesStats(z, rows, f.zp)
+		q.zoneKept += int64(st.Kept)
+		q.zoneSkipped += int64(st.Skipped)
 		return ranges
 	}
-
-	// Relation-scan accounting: tallied locally, added once per query
-	// (the counters are nil-safe no-ops without a registry).
-	var ttScanned, ntScanned, catScanned int64
-	defer func() {
-		e.cTTScan.Add(ttScanned)
-		e.cNTScan.Add(ntScanned)
-		e.cCATScan.Add(catScanned)
-	}()
 
 	// 1. Trivial tuples: stored once at the least detailed node they
 	// belong to; collect them along the plan path (bounded to the
 	// partition subtree when the cube was built partitioned). Each
 	// ancestor extent prunes against its own zone map.
 	for _, anc := range e.planPath(id, levels) {
-		ids, err := e.r.TTRowIDs(anc, nil)
+		q.active.SetExtent(obsv.ExtentTT, int64(anc))
+		ids, err := e.r.TTRowIDsIO(anc, nil, &q.io)
 		if err != nil {
 			return err
 		}
@@ -276,7 +409,7 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 		}
 		for _, rg := range ttRanges {
 			for _, rrowid := range ids[rg.Lo:rg.Hi] {
-				ttScanned++
+				q.ttScanned++
 				if err := project(rrowid); err != nil {
 					return err
 				}
@@ -303,8 +436,9 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 	nm, _ := e.r.Manifest().NodeMeta(id)
 
 	// 2. Normal tuples.
-	if err := e.r.NTRowsRanges(id, prune(nm.NTZones, nm.NTRows), func(nt storage.NTRow) error {
-		ntScanned++
+	q.active.SetExtent(obsv.ExtentNT, int64(id))
+	if err := e.r.NTRowsRanges(id, prune(nm.NTZones, nm.NTRows), &q.io, func(nt storage.NTRow) error {
+		q.ntScanned++
 		if e.r.Manifest().DimsInline {
 			copy(row.Dims, nt.Dims)
 		} else if err := project(nt.RRowid); err != nil {
@@ -323,9 +457,10 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 	// 3. Common aggregate tuples: aggregates via AGGREGATES, dimensions
 	// via the source row-id (carried by the CAT row under format (b), by
 	// the AGGREGATES tuple under format (a)).
-	return e.r.CATRowsRanges(id, prune(nm.CATZones, nm.CATRows), func(cat storage.CATRow) error {
-		catScanned++
-		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
+	q.active.SetExtent(obsv.ExtentCAT, int64(id))
+	return e.r.CATRowsRanges(id, prune(nm.CATZones, nm.CATRows), &q.io, func(cat storage.CATRow) error {
+		q.catScanned++
+		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs, &q.io)
 		if err != nil {
 			return err
 		}
@@ -345,12 +480,12 @@ func (e *Engine) scanNode(id lattice.NodeID, levels []int, f *scanFilter, fn fun
 }
 
 // readAggregate fetches AGGREGATES tuple arowid through the pin if
-// present.
-func (e *Engine) readAggregate(arowid int64, aggrs []float64) (int64, error) {
+// present; unpinned reads are attributed to io.
+func (e *Engine) readAggregate(arowid int64, aggrs []float64, io *storage.IOStats) (int64, error) {
 	if e.aggRaw != nil {
 		return e.r.DecodeAggregate(e.aggRaw, arowid, aggrs), nil
 	}
-	return e.r.ReadAggregate(arowid, aggrs)
+	return e.r.ReadAggregateIO(arowid, aggrs, io)
 }
 
 // planPath returns the plan nodes whose TT relations contribute to node
@@ -408,24 +543,24 @@ func (e *Engine) NodeCount(id lattice.NodeID) (int64, error) {
 // always 1) — the property that makes iceberg queries on CURE cubes
 // orders of magnitude cheaper than on formats that materialize TTs.
 func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
+	q := e.beginQuery("iceberg", id, fmt.Sprintf("count>%v", minCount))
+	cfn := func(r Row) error { q.rows++; return fn(r) }
 	if e.reg == nil {
-		return e.icebergQuery(id, countAgg, minCount, fn)
+		return e.endQuery(q, e.icebergQuery(id, countAgg, minCount, q, cfn))
 	}
 	sp := e.reg.StartSpan("query.iceberg")
 	defer sp.End()
 	start := time.Now()
-	var rows int64
-	err := e.icebergQuery(id, countAgg, minCount, func(r Row) error { rows++; return fn(r) })
-	sp.AddRowsOut(rows)
+	err := e.icebergQuery(id, countAgg, minCount, q, cfn)
+	sp.AddRowsOut(q.rows)
 	e.reg.Counter("query.iceberg.count").Inc()
-	e.cRows.Add(rows)
 	us := time.Since(start).Microseconds()
 	e.reg.Histogram("query.iceberg.latency_us").Observe(us)
 	e.hQuery.Observe(us)
-	return err
+	return e.endQuery(q, err)
 }
 
-func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
+func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64, q *qctx, fn func(Row) error) error {
 	specs := e.r.Manifest().AggSpecs
 	if countAgg < 0 || countAgg >= len(specs) || specs[countAgg].Func != relation.AggCount {
 		return fmt.Errorf("query: aggregate %d is not a COUNT", countAgg)
@@ -446,7 +581,7 @@ func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 	baseMeas := make([]float64, e.fact.Schema().NumMeasures())
 	rawBuf := make([]byte, e.fact.RowWidth())
 	project := func(rrowid int64) error {
-		if err := e.cache.readRow(rrowid, rawBuf); err != nil {
+		if err := e.cache.readRow(rrowid, rawBuf, q); err != nil {
 			return err
 		}
 		e.fact.DecodeRow(rawBuf, baseDims, baseMeas)
@@ -455,7 +590,9 @@ func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 		}
 		return nil
 	}
-	if err := e.r.NTRows(id, func(nt storage.NTRow) error {
+	q.active.SetExtent(obsv.ExtentNT, int64(id))
+	if err := e.r.NTRowsRanges(id, nil, &q.io, func(nt storage.NTRow) error {
+		q.ntScanned++
 		if nt.Aggrs[countAgg] <= minCount {
 			return nil
 		}
@@ -469,8 +606,10 @@ func (e *Engine) icebergQuery(id lattice.NodeID, countAgg int, minCount float64,
 	}); err != nil {
 		return err
 	}
-	return e.r.CATRows(id, func(cat storage.CATRow) error {
-		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs)
+	q.active.SetExtent(obsv.ExtentCAT, int64(id))
+	return e.r.CATRowsRanges(id, nil, &q.io, func(cat storage.CATRow) error {
+		q.catScanned++
+		aggRowid, err := e.readAggregate(cat.ARowid, row.Aggrs, &q.io)
 		if err != nil {
 			return err
 		}

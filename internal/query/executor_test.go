@@ -1,0 +1,168 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"cure/internal/obsv"
+)
+
+func TestForEachStopsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4, 16} {
+		var ran atomic.Int64
+		err := ForEach(workers, 1000, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		// The first error stops new claims; only in-flight tasks finish,
+		// so nothing close to the full range runs.
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: %d tasks ran after the error", workers, n)
+		}
+	}
+}
+
+func TestForEachJoinsConcurrentErrors(t *testing.T) {
+	// Force several workers to fail in the same round: everyone blocks on
+	// the barrier until all claims are taken, then all fail at once.
+	const workers = 4
+	barrier := make(chan struct{})
+	var arrived atomic.Int64
+	err := ForEach(workers, workers, func(i int) error {
+		if arrived.Add(1) == workers {
+			close(barrier)
+		}
+		<-barrier
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("ForEach swallowed the errors")
+	}
+	for i := 0; i < workers; i++ {
+		want := fmt.Sprintf("task %d failed", i)
+		if !containsError(err, want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func containsError(err error, msg string) bool {
+	if err == nil {
+		return false
+	}
+	if err.Error() == msg {
+		return true
+	}
+	// errors.Join concatenates messages with newlines.
+	for _, line := range splitLines(err.Error()) {
+		if line == msg {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	var seen atomic.Int64
+	if err := ForEach(0, 10, func(int) error { seen.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 10 {
+		t.Fatalf("workers=0 ran %d of 10 tasks", seen.Load())
+	}
+	// Sequential path returns the error immediately.
+	calls := 0
+	err := ForEach(1, 10, func(i int) error {
+		calls++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("sequential: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestNodeQueryBatchErrorPaths drives batch queries whose consumer fails
+// mid-stream and checks the engine's tracking stays consistent: the
+// error propagates, nothing stays in-flight, and the inflight gauge
+// settles at zero. Run with -race this also checks the error path is
+// race-clean.
+func TestNodeQueryBatchErrorPaths(t *testing.T) {
+	dir, _, _ := buildPredCube(t, false)
+	reg := obsv.NewRegistry()
+	tracker := obsv.NewQueryTracker(reg, 32)
+	eng, err := Open(dir, Options{CacheFraction: 1, PinAggregates: true, Metrics: reg, Queries: tracker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	ids := eng.Enum().AllNodes()
+	for _, workers := range []int{1, 4, 16} {
+		cancel := errors.New("consumer gave up")
+		err := eng.NodeQueryBatch(workers, ids, func(qi int, r Row) error {
+			if qi == len(ids)/2 {
+				return cancel
+			}
+			return nil
+		})
+		if !errors.Is(err, cancel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if n := len(tracker.Inflight()); n != 0 {
+			t.Fatalf("workers=%d: %d queries in-flight after failed batch", workers, n)
+		}
+		if g := reg.Snapshot().Gauges["query.inflight"]; g != 0 {
+			t.Fatalf("workers=%d: inflight gauge = %d", workers, g)
+		}
+	}
+
+	// The failed queries landed in the ring with their error recorded.
+	var failed int
+	for _, rec := range tracker.Recent() {
+		if rec.Err != "" {
+			failed++
+			if rec.Err != "consumer gave up" {
+				t.Fatalf("recorded error = %q", rec.Err)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no failed query recorded in the ring")
+	}
+
+	// A clean batch over the same engine still works after the failures.
+	var rows atomic.Int64
+	if err := eng.NodeQueryBatch(4, ids, func(int, Row) error { rows.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Load() == 0 {
+		t.Fatal("clean batch returned no rows")
+	}
+}

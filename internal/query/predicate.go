@@ -36,25 +36,58 @@ func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Ro
 	if len(preds) == 0 {
 		return e.NodeQuery(id, fn)
 	}
+	f, levels, err := e.compileFilter(id, preds)
+	if err != nil {
+		return err
+	}
+	var where string
+	if e.queries != nil {
+		where = e.whereString(preds)
+	}
+	q := e.beginQuery("where", id, where)
+	cfn := func(r Row) error { q.rows++; return fn(r) }
+	if e.reg == nil {
+		return e.endQuery(q, e.scanNode(id, levels, f, q, cfn))
+	}
+	sp := e.reg.StartSpan("query.where")
+	defer sp.End()
+	start := time.Now()
+	serr := e.scanNode(id, levels, f, q, cfn)
+	sp.AddRowsOut(q.rows)
+	e.cWhere.Inc()
+	us := time.Since(start).Microseconds()
+	e.hWhere.Observe(us)
+	e.hQuery.Observe(us)
+	return e.endQuery(q, serr)
+}
+
+// compileFilter validates preds against node id and lowers them into a
+// scanFilter: tuple predicates, the CURE_DR dimension→position map, and
+// (unless indexing is disabled) the zone-map slot predicates block
+// pruning uses. The node's decoded levels are returned alongside.
+func (e *Engine) compileFilter(id lattice.NodeID, preds []Predicate) (*scanFilter, []int, error) {
 	if !e.enum.Valid(id) {
-		return fmt.Errorf("query: invalid node id %d", id)
+		return nil, nil, fmt.Errorf("query: invalid node id %d", id)
 	}
 	levels := e.enum.Decode(id, nil)
+	if len(preds) == 0 {
+		return nil, levels, nil
+	}
 	hier := e.r.Hier()
 	for _, p := range preds {
 		if p.Dim < 0 || p.Dim >= hier.NumDims() {
-			return fmt.Errorf("query: predicate dimension %d out of range", p.Dim)
+			return nil, nil, fmt.Errorf("query: predicate dimension %d out of range", p.Dim)
 		}
 		d := hier.Dims[p.Dim]
 		if p.Level < 0 || p.Level > d.AllLevel() {
-			return fmt.Errorf("query: predicate level %d out of range for %s", p.Level, d.Name)
+			return nil, nil, fmt.Errorf("query: predicate level %d out of range for %s", p.Level, d.Name)
 		}
 		if p.Level < levels[p.Dim] {
-			return fmt.Errorf("query: predicate on %s at level %s is finer than the node's level %s",
+			return nil, nil, fmt.Errorf("query: predicate on %s at level %s is finer than the node's level %s",
 				d.Name, d.LevelName(p.Level), d.LevelName(levels[p.Dim]))
 		}
 		if p.Lo > p.Hi {
-			return fmt.Errorf("query: empty predicate range [%d,%d]", p.Lo, p.Hi)
+			return nil, nil, fmt.Errorf("query: empty predicate range [%d,%d]", p.Lo, p.Hi)
 		}
 	}
 	f := &scanFilter{preds: preds}
@@ -75,7 +108,7 @@ func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Ro
 		}
 		for _, p := range preds {
 			if pos[p.Dim] < 0 || p.Level != levels[p.Dim] {
-				return fmt.Errorf("query: CURE_DR cubes only support predicates at the node's own level (dim %s, level %s)",
+				return nil, nil, fmt.Errorf("query: CURE_DR cubes only support predicates at the node's own level (dim %s, level %s)",
 					hier.Dims[p.Dim].Name, hier.Dims[p.Dim].LevelName(levels[p.Dim]))
 			}
 		}
@@ -90,21 +123,7 @@ func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Ro
 			}
 		}
 	}
-	if e.reg == nil {
-		return e.scanNode(id, levels, f, fn)
-	}
-	sp := e.reg.StartSpan("query.where")
-	defer sp.End()
-	start := time.Now()
-	var rows int64
-	err := e.scanNode(id, levels, f, func(r Row) error { rows++; return fn(r) })
-	sp.AddRowsOut(rows)
-	e.cWhere.Inc()
-	e.cRows.Add(rows)
-	us := time.Since(start).Microseconds()
-	e.hWhere.Observe(us)
-	e.hQuery.Observe(us)
-	return err
+	return f, levels, nil
 }
 
 // SliceQuery is the common OLAP slice: the grouping of node id with

@@ -129,6 +129,27 @@ func (m *Manifest) NodeMeta(id lattice.NodeID) (NodeMeta, bool) {
 // NumAggrs returns Y, the number of aggregate columns.
 func (m *Manifest) NumAggrs() int { return len(m.AggSpecs) }
 
+// NTRowWidth, CATRowWidth, and AggRowWidth expose the extent row widths
+// for planners (EXPLAIN cost estimates) outside the package.
+func (m *Manifest) NTRowWidth(arity int) int { return m.ntRowWidth(arity) }
+
+// CATRowWidth returns the byte width of one compacted CAT row.
+func (m *Manifest) CATRowWidth() int { return m.catRowWidth() }
+
+// AggRowWidth returns the byte width of one AGGREGATES row.
+func (m *Manifest) AggRowWidth() int { return m.aggRowWidth() }
+
+// TTBytes returns the bytes one full read of the node's TT extent costs:
+// the bitmap length under CURE+, 8 bytes per row-id otherwise. The TT
+// extent is always fetched whole (zone pruning narrows the iteration,
+// not the read), so this is also the read a query pays.
+func (nm NodeMeta) TTBytes() int64 {
+	if nm.TTKind == TTBitmap {
+		return nm.TTBmLen
+	}
+	return nm.TTRows * ttLogRowWidth
+}
+
 // ntRowWidth returns the byte width of one NT row of the given node.
 // Plain CURE: <R-rowid, aggrs> (8 + 8Y). CURE_DR: <dims…, aggrs>
 // (4·arity + 8Y) where arity is the node's grouping arity.

@@ -87,10 +87,36 @@ func (r *Reader) Enum() *lattice.Enum { return r.enum }
 // row-ids reference.
 func (r *Reader) FactPath() string { return resolveFactPath(r.dir, r.m.FactFile) }
 
+// IOStats tallies the read volume one scan causes, attributing storage
+// I/O to the query that asked for it. One IOStats belongs to one query
+// (one goroutine), so the fields are plain — concurrent queries each
+// carry their own. The nil *IOStats is a valid no-op, which keeps
+// un-attributed callers (zone-map construction, tests) unchanged.
+type IOStats struct {
+	// BytesRead is the number of bytes fetched from relation files.
+	BytesRead int64 `json:"bytes_read"`
+	// Reads is the number of ReadAt calls issued.
+	Reads int64 `json:"reads"`
+}
+
+// Add folds one read of n bytes into the tally (no-op on nil).
+func (s *IOStats) Add(n int64) {
+	if s != nil {
+		s.BytesRead += n
+		s.Reads++
+	}
+}
+
 // TTRowIDs returns the trivial-tuple row-ids stored at node id (only the
 // tuples stored there — callers assemble the full TT set of a node from
 // its plan path).
 func (r *Reader) TTRowIDs(id lattice.NodeID, dst []int64) ([]int64, error) {
+	return r.TTRowIDsIO(id, dst, nil)
+}
+
+// TTRowIDsIO is TTRowIDs with per-query I/O attribution: bytes fetched
+// for the extent (or its CURE+ bitmap) are tallied into io.
+func (r *Reader) TTRowIDsIO(id lattice.NodeID, dst []int64, io *IOStats) ([]int64, error) {
 	nm, ok := r.m.NodeMeta(id)
 	if !ok || nm.TTRows == 0 {
 		return dst[:0], nil
@@ -100,6 +126,7 @@ func (r *Reader) TTRowIDs(id lattice.NodeID, dst []int64) ([]int64, error) {
 		if _, err := r.bmF.ReadAt(buf, nm.TTOff); err != nil {
 			return nil, fmt.Errorf("storage: TT bitmap of node %d: %w", id, err)
 		}
+		io.Add(nm.TTBmLen)
 		bm, err := bitmap.Unmarshal(buf)
 		if err != nil {
 			return nil, err
@@ -115,6 +142,7 @@ func (r *Reader) TTRowIDs(id lattice.NodeID, dst []int64) ([]int64, error) {
 	if _, err := r.ttF.ReadAt(buf, nm.TTOff); err != nil {
 		return nil, fmt.Errorf("storage: TT extent of node %d: %w", id, err)
 	}
+	io.Add(nm.TTRows * ttLogRowWidth)
 	if cap(dst) < int(nm.TTRows) {
 		dst = make([]int64, 0, nm.TTRows)
 	}
@@ -136,15 +164,16 @@ type NTRow struct {
 // NTRows streams the normal tuples of node id. The row passed to fn
 // reuses internal buffers; copy what must outlive the call.
 func (r *Reader) NTRows(id lattice.NodeID, fn func(row NTRow) error) error {
-	return r.NTRowsRanges(id, nil, fn)
+	return r.NTRowsRanges(id, nil, nil, fn)
 }
 
 // NTRowsRanges streams the normal tuples of node id whose extent-row
 // index falls in one of the given half-open ranges (nil = the whole
 // extent; an empty non-nil slice streams nothing). Zone-map pruning
-// produces the ranges. NTRowsRanges is safe for concurrent use: every
+// produces the ranges; extent bytes fetched are tallied into io (nil
+// disables attribution). NTRowsRanges is safe for concurrent use: every
 // call reads through ReadAt with private buffers.
-func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row NTRow) error) error {
+func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats, fn func(row NTRow) error) error {
 	nm, ok := r.m.NodeMeta(id)
 	if !ok || nm.NTRows == 0 {
 		return nil
@@ -171,6 +200,7 @@ func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row 
 		if _, err := r.ntF.ReadAt(buf, nm.NTOff+rg.Lo*width); err != nil {
 			return fmt.Errorf("storage: NT extent of node %d: %w", id, err)
 		}
+		io.Add(n * width)
 		for i := int64(0); i < n; i++ {
 			rec := buf[i*width : (i+1)*width]
 			if r.m.DimsInline {
@@ -198,13 +228,14 @@ type CATRow struct {
 
 // CATRows streams the CAT references of node id.
 func (r *Reader) CATRows(id lattice.NodeID, fn func(row CATRow) error) error {
-	return r.CATRowsRanges(id, nil, fn)
+	return r.CATRowsRanges(id, nil, nil, fn)
 }
 
 // CATRowsRanges streams the CAT references of node id within the given
 // extent-row ranges (nil = the whole extent; an empty non-nil slice
-// streams nothing). Safe for concurrent use.
-func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row CATRow) error) error {
+// streams nothing), tallying extent bytes into io (nil disables
+// attribution). Safe for concurrent use.
+func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats, fn func(row CATRow) error) error {
 	nm, ok := r.m.NodeMeta(id)
 	if !ok || nm.CATRows == 0 {
 		return nil
@@ -226,6 +257,7 @@ func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row
 		if _, err := r.catF.ReadAt(buf, nm.CATOff+rg.Lo*width); err != nil {
 			return fmt.Errorf("storage: CAT extent of node %d: %w", id, err)
 		}
+		io.Add(n * width)
 		for i := int64(0); i < n; i++ {
 			rec := buf[i*width:]
 			var row CATRow
@@ -247,6 +279,11 @@ func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, fn func(row
 // ReadAggregate fetches AGGREGATES tuple arowid. Under format (a) the
 // returned rrowid is the shared source row-id; under format (b) it is -1.
 func (r *Reader) ReadAggregate(arowid int64, aggrs []float64) (int64, error) {
+	return r.ReadAggregateIO(arowid, aggrs, nil)
+}
+
+// ReadAggregateIO is ReadAggregate with per-query I/O attribution.
+func (r *Reader) ReadAggregateIO(arowid int64, aggrs []float64, io *IOStats) (int64, error) {
 	if arowid < 0 || arowid >= r.m.AggRows {
 		return 0, fmt.Errorf("storage: A-rowid %d out of range [0,%d)", arowid, r.m.AggRows)
 	}
@@ -255,6 +292,7 @@ func (r *Reader) ReadAggregate(arowid int64, aggrs []float64) (int64, error) {
 	if _, err := r.aggF.ReadAt(buf, arowid*int64(width)); err != nil {
 		return 0, err
 	}
+	io.Add(int64(width))
 	rrowid := int64(-1)
 	off := 0
 	if r.m.CatFormat == signature.FormatA {

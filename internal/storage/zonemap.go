@@ -83,6 +83,22 @@ type ZonePred struct {
 // extent.
 type RowRange struct{ Lo, Hi int64 }
 
+// ZoneStats summarizes one pruning decision, the unit EXPLAIN plans and
+// per-query attribution report.
+type ZoneStats struct {
+	// Blocks is the total number of zone-map blocks of the extent.
+	Blocks int `json:"blocks"`
+	// Kept and Skipped partition Blocks by the pruning verdict.
+	Kept    int `json:"kept"`
+	Skipped int `json:"skipped"`
+	// Narrowed reports that at least one predicate hit a sorted slot and
+	// shrank the candidate window by binary search (CURE+ sorted extents)
+	// rather than a linear block sweep.
+	Narrowed bool `json:"narrowed,omitempty"`
+	// ScanRows is the number of extent rows inside the surviving ranges.
+	ScanRows int64 `json:"scan_rows"`
+}
+
 // PruneZones returns the row ranges of an extent that may contain rows
 // satisfying every predicate, merging adjacent surviving blocks, plus
 // the numbers of blocks kept and skipped. rows is the extent's row
@@ -90,10 +106,20 @@ type RowRange struct{ Lo, Hi int64 }
 // narrow the candidate window by binary search; the rest are tested
 // block by block.
 func PruneZones(z *ZoneIndex, rows int64, preds []ZonePred) ([]RowRange, int, int) {
+	ranges, st := PruneZonesStats(z, rows, preds)
+	return ranges, st.Kept, st.Skipped
+}
+
+// PruneZonesStats is PruneZones with the full decision record: the
+// surviving ranges plus block counts, whether sorted-slot narrowing
+// applied, and the surviving row volume. Explain renders the decision;
+// the query path tallies it into per-query counters.
+func PruneZonesStats(z *ZoneIndex, rows int64, preds []ZonePred) ([]RowRange, ZoneStats) {
 	nb := z.NumBlocks()
 	if nb == 0 || len(preds) == 0 {
-		return nil, 0, 0
+		return nil, ZoneStats{}
 	}
+	st := ZoneStats{Blocks: nb}
 	slots := int(z.Slots)
 	lo, hi := 0, nb
 	for _, p := range preds {
@@ -109,6 +135,7 @@ func PruneZones(z *ZoneIndex, rows int64, preds []ZonePred) ([]RowRange, int, in
 			hi = h
 		}
 	}
+	st.Narrowed = lo > 0 || hi < nb
 	var out []RowRange
 	kept := 0
 	br := int64(z.BlockRows)
@@ -141,7 +168,12 @@ func PruneZones(z *ZoneIndex, rows int64, preds []ZonePred) ([]RowRange, int, in
 	if out == nil {
 		out = []RowRange{} // every block pruned: scan nothing, not everything
 	}
-	return out, kept, nb - kept
+	st.Kept = kept
+	st.Skipped = nb - kept
+	for _, rg := range out {
+		st.ScanRows += rg.Hi - rg.Lo
+	}
+	return out, st
 }
 
 // zoneBuilder accumulates per-block bounds while an extent streams by in
