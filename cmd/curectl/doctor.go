@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+
+	"cure/internal/obsv"
+)
+
+// cmdDoctor parses a flight-recorder diagnostic bundle and prints a
+// human-readable incident report to stdout.
+//
+//	curectl doctor <bundle-dir | flight-dir>
+//
+// Given a flight directory (the -flight-dir of the crashed process),
+// the newest bundle inside it is read. With -json the raw bundle
+// manifest is printed instead of the report.
+func cmdDoctor(args []string) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the bundle manifest as JSON instead of the report")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("doctor: need exactly one bundle (or flight) directory argument")
+	}
+	b, err := obsv.ReadBundle(fs.Arg(0))
+	if err != nil {
+		fatalf("doctor: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b.Info); err != nil {
+			fatalf("doctor: %v", err)
+		}
+		return
+	}
+	if err := b.WriteReport(os.Stdout); err != nil {
+		fatalf("doctor: %v", err)
+	}
+}

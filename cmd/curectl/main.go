@@ -66,13 +66,15 @@ func main() {
 		cmdDiff(os.Args[2:])
 	case "estimate":
 		cmdEstimate(os.Args[2:])
+	case "doctor":
+		cmdDoctor(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|explain|import|update|verify|diff|estimate [flags]")
+	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|explain|import|update|verify|diff|estimate|doctor [flags]")
 	os.Exit(2)
 }
 

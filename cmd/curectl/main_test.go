@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -82,19 +83,32 @@ func TestParseWhereErrors(t *testing.T) {
 
 var (
 	curectlOnce sync.Once
+	curectlDir  string
 	curectlBin  string
 	curectlErr  error
 )
 
-// buildCurectl compiles the curectl binary once per test run.
+// TestMain cleans up the shared curectl binary built by buildCurectl.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if curectlDir != "" {
+		os.RemoveAll(curectlDir)
+	}
+	os.Exit(code)
+}
+
+// buildCurectl compiles the curectl binary once per test run. The
+// binary lives in a package-owned temp dir (removed in TestMain), not a
+// t.TempDir, so it survives past the first test that asked for it.
 func buildCurectl(t *testing.T) string {
 	t.Helper()
 	curectlOnce.Do(func() {
-		dir, err := filepath.Abs(t.TempDir())
+		dir, err := os.MkdirTemp("", "curectl-bin")
 		if err != nil {
 			curectlErr = err
 			return
 		}
+		curectlDir = dir
 		curectlBin = filepath.Join(dir, "curectl")
 		out, err := exec.Command("go", "build", "-o", curectlBin, ".").CombinedOutput()
 		if err != nil {

@@ -465,6 +465,9 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 	results := make([]taskResult, len(paths))
 	err := runTasks(lim, len(paths), func(slot, i int) error {
 		pp := paths[i]
+		defer obsv.CapturePanic(reg, func() string {
+			return fmt.Sprintf("partition worker slot=%d partition=%s", slot, pp)
+		})
 		pt, err := relation.ReadFactFile(pp)
 		if err != nil {
 			return fmt.Errorf("core: partition %s: %w", pp, err)

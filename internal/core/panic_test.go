@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunTasksPropagatesPanic pins the crash contract of the build's
+// worker pool: a panicking task stops new claims, the helpers drain,
+// every limiter slot is released, and the first panic value re-raises
+// on the calling goroutine.
+func TestRunTasksPropagatesPanic(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		lim := newParLimiter(p)
+		var ran atomic.Int32
+		var recovered any
+		func() {
+			defer func() { recovered = recover() }()
+			runTasks(lim, 16, func(slot, i int) error {
+				if i == 2 {
+					panic("kaboom-2")
+				}
+				ran.Add(1)
+				return nil
+			})
+		}()
+		if recovered == nil || !strings.Contains(fmt.Sprint(recovered), "kaboom-2") {
+			t.Fatalf("p=%d: recovered %v, want the task's panic value", p, recovered)
+		}
+		if n := ran.Load(); n >= 16 {
+			t.Fatalf("p=%d: all %d tasks ran despite a panic stopping claims", p, n)
+		}
+		// Every limiter slot must come back even through the panic path —
+		// a partitioned build reuses the limiter for its next fan-out.
+		free := 0
+		for lim.tryAcquire() {
+			free++
+		}
+		if p > 1 && free != p-1 {
+			t.Fatalf("p=%d: %d slots free after panic, want %d", p, free, p-1)
+		}
+	}
+}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +69,13 @@ func (l *parLimiter) maxSlots() int {
 // there is no channel hand-off, so a failing worker cannot strand a
 // producer the way a jobs-channel pool can. The first error stops new
 // claims; every error that did occur is reported via errors.Join.
+//
+// A panicking task does not kill its goroutine silently: the first
+// panic (from any slot) is captured, remaining claims stop, the helpers
+// drain, and the panic is re-raised on the calling goroutine — so it
+// propagates up the build's own stack with whatever context the task's
+// own deferred obsv.CapturePanic attached, instead of crashing the
+// process from an anonymous worker.
 func runTasks(lim *parLimiter, n int, task func(slot, i int) error) error {
 	if n <= 0 {
 		return nil
@@ -73,6 +83,16 @@ func runTasks(lim *parLimiter, n int, task func(slot, i int) error) error {
 	var next atomic.Int64
 	var failed atomic.Bool
 	errs := make([]error, n)
+	var panicMu sync.Mutex
+	var panicVal any
+	capture := func(v any) {
+		panicMu.Lock()
+		if panicVal == nil {
+			panicVal = v
+		}
+		panicMu.Unlock()
+		failed.Store(true)
+	}
 	loop := func(slot int) {
 		for {
 			i := int(next.Add(1)) - 1
@@ -95,12 +115,57 @@ func runTasks(lim *parLimiter, n int, task func(slot, i int) error) error {
 		go func(slot int) {
 			defer wg.Done()
 			defer lim.release()
+			defer func() {
+				if v := recover(); v != nil {
+					capture(v)
+				}
+			}()
 			loop(slot)
 		}(s)
 	}
-	loop(0)
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				capture(v)
+			}
+		}()
+		loop(0)
+	}()
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return errors.Join(errs...)
+}
+
+// Test hook: CURE_TEST_PANIC=worker makes the first parallel cube
+// worker task panic, so the exec-based flight-recorder test can crash a
+// real build through the production panic path. Read once; fires once.
+var (
+	testPanicOnce  sync.Once
+	testPanicMode  string
+	testPanicFired atomic.Bool
+)
+
+func injectTestPanic(site string) bool {
+	testPanicOnce.Do(func() { testPanicMode = os.Getenv("CURE_TEST_PANIC") })
+	return testPanicMode == site && testPanicFired.CompareAndSwap(false, true)
+}
+
+// nodePath renders the node the executor is currently computing as its
+// dimension.level names ("Product.Class,Outlet.ALL") — the attribution
+// the panic wrappers put into diagnostic bundles.
+func (ex *executor) nodePath() string {
+	var b strings.Builder
+	for d, lv := range ex.levels {
+		if d > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ex.hier.Dims[d].Name)
+		b.WriteByte('.')
+		b.WriteString(ex.hier.Dims[d].LevelName(lv))
+	}
+	return b.String()
 }
 
 // segRun is one run of equal key codes in a freshly sorted root
@@ -199,6 +264,15 @@ func (ex *executor) fanOut(dim int, key sortutil.Keyer) (bool, error) {
 	base := append([]int(nil), ex.baseLevel...)
 	err := runTasks(p.lim, len(batches), func(slot, bi int) error {
 		wex := ex
+		// wex rebinds to the slot's worker below; the closure sees the
+		// rebound value, so a panic names the worker that actually ran.
+		defer obsv.CapturePanic(p.reg, func() string {
+			return fmt.Sprintf("cube worker slot=%d batch=%d node=%s span=%s",
+				slot, bi, wex.nodePath(), p.span.Path())
+		})
+		if injectTestPanic("worker") {
+			panic("injected test panic (CURE_TEST_PANIC=worker)")
+		}
 		if slot > 0 {
 			w := p.workers[slot]
 			if w == nil {

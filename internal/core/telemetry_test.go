@@ -89,6 +89,7 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	// way.
 	sawLiveBuild := false
 	sawLiveMetrics := false
+	sawDegraded := false
 	for done := false; !done; {
 		select {
 		case err := <-buildDone:
@@ -99,8 +100,15 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 		default:
 		}
 
+		// Before the heap crosses the forced budget /healthz is 200 "ok";
+		// after the crossing it must degrade to 503 naming the budget.
 		code, body := httpGet(t, base+"/healthz")
-		if code != 200 || strings.TrimSpace(body) != "ok" {
+		switch {
+		case code == 200 && strings.TrimSpace(body) == "ok":
+		case code == 503 && strings.Contains(body, "degraded") &&
+			strings.Contains(body, "mem_budget_bytes"):
+			sawDegraded = true
+		default:
 			t.Fatalf("/healthz = %d %q", code, body)
 		}
 
@@ -240,6 +248,9 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	}
 	if crossings < 1 {
 		t.Fatal("no mem_budget crossing despite a 64KB budget")
+	}
+	if !sawDegraded {
+		t.Fatal("/healthz never reported degraded despite the heap sitting above the forced budget")
 	}
 	if smp.Samples() < 1 {
 		t.Fatal("sampler took no samples")

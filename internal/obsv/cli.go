@@ -5,7 +5,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
 	"time"
+)
+
+// signalAction classifies what a received process signal asks of the
+// observability plane (the platform mapping lives in signals_unix.go /
+// signals_other.go).
+type signalAction int
+
+const (
+	sigIgnore signalAction = iota
+	// sigFlushExit flushes every sink, then exits (SIGINT/SIGTERM).
+	sigFlushExit
+	// sigBundleExit writes a diagnostic bundle, flushes, exits (SIGQUIT).
+	sigBundleExit
+	// sigBundleContinue writes a bundle and keeps running (SIGUSR1).
+	sigBundleContinue
 )
 
 // CLI bundles the observability command-line flags shared by the cure
@@ -24,6 +41,9 @@ type CLI struct {
 	SampleEvery   time.Duration
 	SlowQueryMs   int64
 	SlowQueryOut  string
+	FlightDir     string
+	HistoryEvery  time.Duration
+	HistoryWindow time.Duration
 
 	reg          *Registry
 	closeTrace   func() error
@@ -33,6 +53,11 @@ type CLI struct {
 	sampler      *Sampler
 	server       *Server
 	queries      *QueryTracker
+	history      *History
+	flight       *FlightRecorder
+	flushOnce    sync.Once
+	flushErr     error
+	stopSignals  func()
 }
 
 // RegisterFlags registers the standard observability flags on fs and
@@ -50,6 +75,9 @@ func RegisterFlags(fs *flag.FlagSet) *CLI {
 	fs.DurationVar(&c.SampleEvery, "sample-every", 0, "runtime sampler interval (default 250ms when -serve is set, off otherwise)")
 	fs.Int64Var(&c.SlowQueryMs, "slow-query-ms", -1, "log queries at least this slow as JSONL (0 = log every query, -1 = off)")
 	fs.StringVar(&c.SlowQueryOut, "slow-query-out", "", "slow-query JSONL sink ('-' = stdout, default stderr)")
+	fs.StringVar(&c.FlightDir, "flight-dir", "", "enable the flight recorder: write diagnostic bundles into this directory on panic, SIGQUIT/SIGUSR1, mem-budget crossing, or /debug/bundle")
+	fs.DurationVar(&c.HistoryEvery, "history-every", 0, "metric history snapshot interval (default 1s when history is on; history is on with -serve or -flight-dir)")
+	fs.DurationVar(&c.HistoryWindow, "history-window", 0, "raw-resolution metric history window (default 5m; the coarse long window covers 12x)")
 	return c
 }
 
@@ -57,7 +85,7 @@ func RegisterFlags(fs *flag.FlagSet) *CLI {
 // metrics, trace, progress, serve, sampling, or slow-query flag was
 // given, nil (zero-overhead) otherwise.
 func (c *CLI) Registry() *Registry {
-	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress || c.ServeAddr != "" || c.SampleEvery > 0 || c.SlowQueryMs >= 0) {
+	if c.reg == nil && (c.MetricsOut != "" || c.TraceOut != "" || c.Progress || c.ServeAddr != "" || c.SampleEvery > 0 || c.SlowQueryMs >= 0 || c.FlightDir != "" || c.HistoryEvery > 0) {
 		c.reg = NewRegistry()
 	}
 	return c.reg
@@ -118,18 +146,104 @@ func (c *CLI) Start(progressW io.Writer) error {
 	if c.Progress {
 		c.stopProgress = StartProgress(c.Registry(), progressW, 2*time.Second)
 	}
-	if c.SampleEvery > 0 || c.ServeAddr != "" {
+	if c.FlightDir != "" {
+		c.flight = NewFlightRecorder(c.FlightDir, c.Registry())
+		c.Registry().SetFlight(c.flight)
+		// Bundles want the trace leading up to the incident. Retain a
+		// tail ring on the configured sink, or on a discard-backed one
+		// when no -trace-out was asked for.
+		tw := c.Registry().Trace()
+		if tw == nil {
+			tw = NewTraceWriter(io.Discard)
+			c.Registry().SetTrace(tw)
+		}
+		tw.SetTailCap(512)
+	}
+	if c.FlightDir != "" || c.ServeAddr != "" || c.HistoryEvery > 0 {
+		c.history = StartHistory(c.Registry(), HistoryOptions{Interval: c.HistoryEvery, Window: c.HistoryWindow})
+	}
+	// The flight recorder wants the sampler's memory series; sampling is
+	// therefore implied by -flight-dir as it is by -serve.
+	if c.SampleEvery > 0 || c.ServeAddr != "" || c.FlightDir != "" {
 		c.sampler = StartSampler(c.Registry(), SamplerOptions{Interval: c.SampleEvery})
 	}
+	c.flight.Attach(c.sampler, c.history, c.Queries())
 	if c.ServeAddr != "" {
-		srv, err := StartServer(c.ServeAddr, c.Registry(), ServerOptions{Sampler: c.sampler, Queries: c.Queries()})
+		srv, err := StartServer(c.ServeAddr, c.Registry(), ServerOptions{
+			Sampler: c.sampler,
+			Queries: c.Queries(),
+			History: c.history,
+			Flight:  c.flight,
+		})
 		if err != nil {
 			return err
 		}
 		c.server = srv
-		fmt.Fprintf(progressW, "telemetry: serving http://%s/{metrics,healthz,progress,queries,debug/pprof}\n", srv.Addr())
+		fmt.Fprintf(progressW, "telemetry: serving http://%s/{metrics,metrics/history,healthz,progress,queries,debug/pprof}\n", srv.Addr())
+	}
+	if c.Registry() != nil {
+		c.installSignals(progressW)
 	}
 	return nil
+}
+
+// flushSinks stops the sampler and history store (each takes a final
+// point), writes the -metrics-out snapshot, and closes the trace and
+// slow-query sinks — exactly once, shared by Finish and the signal
+// handler so an interrupted -serve-hold session loses no buffered tail
+// records.
+func (c *CLI) flushSinks() error {
+	c.flushOnce.Do(func() {
+		c.sampler.Stop()
+		c.history.Stop()
+		if c.MetricsOut != "" {
+			if err := WriteMetricsFile(c.reg, c.MetricsOut); err != nil && c.flushErr == nil {
+				c.flushErr = err
+			}
+		}
+		if c.closeTrace != nil {
+			if err := c.closeTrace(); err != nil && c.flushErr == nil {
+				c.flushErr = err
+			}
+		}
+		if c.closeSlow != nil {
+			if err := c.closeSlow(); err != nil && c.flushErr == nil {
+				c.flushErr = err
+			}
+		}
+	})
+	return c.flushErr
+}
+
+// installSignals routes process signals into the observability plane:
+// SIGINT/SIGTERM flush every sink before exiting (codes 130/143),
+// SIGQUIT writes a diagnostic bundle then flushes and exits (code 2),
+// SIGUSR1 writes a bundle and keeps running. Platforms without these
+// signals degrade to interrupt-flush only (see signals_other.go).
+func (c *CLI) installSignals(progressW io.Writer) {
+	ch := make(chan os.Signal, 4)
+	signal.Notify(ch, notifySignals()...)
+	c.stopSignals = func() { signal.Stop(ch) }
+	go func() {
+		for sig := range ch {
+			action, code := classifySignal(sig)
+			switch action {
+			case sigBundleContinue:
+				if dir := c.flight.Trigger("sigusr1", "signal-triggered bundle"); dir != "" {
+					fmt.Fprintf(progressW, "flight: bundle written to %s\n", dir)
+				}
+			case sigBundleExit:
+				if dir := c.flight.Trigger("sigquit", "signal-triggered bundle"); dir != "" {
+					fmt.Fprintf(progressW, "flight: bundle written to %s\n", dir)
+				}
+				c.flushSinks()
+				os.Exit(code)
+			case sigFlushExit:
+				c.flushSinks()
+				os.Exit(code)
+			}
+		}
+	}()
 }
 
 // Finish stops the progress reporter and CPU profiler, holds then closes
@@ -152,28 +266,19 @@ func (c *CLI) Finish() error {
 			firstErr = err
 		}
 	}
-	// Sampler after server: scrapes stay consistent to the end; the
-	// sampler's final tick still lands in the metrics file and trace.
-	c.sampler.Stop()
 	if c.MemProfile != "" {
 		if err := WriteHeapProfile(c.MemProfile); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if c.MetricsOut != "" {
-		if err := WriteMetricsFile(c.reg, c.MetricsOut); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	// Sampler and history stop inside flushSinks, after the server is
+	// down: scrapes stay consistent to the end, and the final tick still
+	// lands in the metrics file and trace.
+	if err := c.flushSinks(); err != nil && firstErr == nil {
+		firstErr = err
 	}
-	if c.closeTrace != nil {
-		if err := c.closeTrace(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if c.closeSlow != nil {
-		if err := c.closeSlow(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	if c.stopSignals != nil {
+		c.stopSignals()
 	}
 	return firstErr
 }

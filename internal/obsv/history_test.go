@@ -1,0 +1,205 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// counterValues projects one counter out of a series, in order.
+func counterValues(series []HistoryPoint, name string) []int64 {
+	out := make([]int64, len(series))
+	for i, pt := range series {
+		out[i] = pt.Counters[name]
+	}
+	return out
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistoryRingWraparound drives both rings past capacity and checks
+// the merged series: raw holds the newest Window/Interval points, the
+// long ring every LongEvery-th point, and Series splices long points
+// strictly older than the raw window in front of it.
+func TestHistoryRingWraparound(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.ticks")
+	// rawCap = 4s/1s = 4; longCap = 8s/(1s×2) = 4, fed every 2nd point.
+	h := newHistory(r, HistoryOptions{
+		Interval:   time.Second,
+		Window:     4 * time.Second,
+		LongEvery:  2,
+		LongWindow: 8 * time.Second,
+	})
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		h.Record()
+	}
+	if h.Points() != 10 {
+		t.Fatalf("Points = %d, want 10", h.Points())
+	}
+	// Raw ring wrapped twice: the last rawCap points survive.
+	if got := counterValues(h.RawSeries(), "test.ticks"); !int64sEqual(got, []int64{7, 8, 9, 10}) {
+		t.Fatalf("RawSeries ticks = %v", got)
+	}
+	// Long ring saw points 2,4,6,8,10 and wrapped once at cap 4.
+	if got := counterValues(h.LongSeries(), "test.ticks"); !int64sEqual(got, []int64{4, 6, 8, 10}) {
+		t.Fatalf("LongSeries ticks = %v", got)
+	}
+	// Merged: long points predating the raw window (4, 6), then raw.
+	series := h.Series()
+	if got := counterValues(series, "test.ticks"); !int64sEqual(got, []int64{4, 6, 7, 8, 9, 10}) {
+		t.Fatalf("Series ticks = %v", got)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Time.Before(series[i-1].Time) {
+			t.Fatalf("Series out of order at %d", i)
+		}
+	}
+	if d := h.Deltas()["test.ticks"]; d != 6 {
+		t.Fatalf("Deltas over merged series = %d, want 6 (10-4)", d)
+	}
+}
+
+// TestHistoryDownsampleBoundary pins the raw→long hand-off before any
+// wraparound: while the raw ring still covers everything, Series must
+// be exactly the raw series (no duplicated long points).
+func TestHistoryDownsampleBoundary(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.ticks")
+	h := newHistory(r, HistoryOptions{
+		Interval:  time.Second,
+		Window:    8 * time.Second,
+		LongEvery: 2,
+	})
+	for i := 0; i < 4; i++ {
+		c.Add(1)
+		h.Record()
+	}
+	if got := counterValues(h.LongSeries(), "test.ticks"); !int64sEqual(got, []int64{2, 4}) {
+		t.Fatalf("LongSeries ticks = %v", got)
+	}
+	if got := counterValues(h.Series(), "test.ticks"); !int64sEqual(got, []int64{1, 2, 3, 4}) {
+		t.Fatalf("Series ticks = %v (long points must not duplicate raw ones)", got)
+	}
+}
+
+// TestHistoryDeltasMatchCounters is the contract the doctor's rate
+// table rests on: deltas over the window equal the counter increments
+// between the window's endpoints, and histograms project into
+// count/sum counters and quantile gauges.
+func TestHistoryDeltasMatchCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("storage.read.bytes").Add(100)
+	r.Gauge("runtime.heap_inuse_bytes").Set(42)
+	r.Histogram("query.latency_us").Observe(1000)
+	h := newHistory(r, HistoryOptions{Interval: 10 * time.Millisecond})
+	h.Record()
+	time.Sleep(5 * time.Millisecond)
+	r.Counter("storage.read.bytes").Add(250)
+	r.Histogram("query.latency_us").Observe(3000)
+	h.Record()
+
+	doc := h.Doc()
+	if doc.IntervalSec != 0.01 {
+		t.Fatalf("IntervalSec = %v", doc.IntervalSec)
+	}
+	if doc.WindowSec <= 0 {
+		t.Fatalf("WindowSec = %v", doc.WindowSec)
+	}
+	if d := doc.Deltas["storage.read.bytes"]; d != 250 {
+		t.Fatalf("delta storage.read.bytes = %d, want 250", d)
+	}
+	if d := doc.Deltas["query.latency_us.count"]; d != 1 {
+		t.Fatalf("delta query.latency_us.count = %d, want 1", d)
+	}
+	if rate := doc.RatesPerSec["storage.read.bytes"]; rate <= 0 {
+		t.Fatalf("rate storage.read.bytes = %v", rate)
+	}
+	last := doc.Points[len(doc.Points)-1]
+	if last.Gauges["runtime.heap_inuse_bytes"] != 42 {
+		t.Fatalf("gauge missing from point: %+v", last.Gauges)
+	}
+	if last.Gauges["query.latency_us.p50"] == 0 {
+		t.Fatalf("histogram quantile missing from point: %+v", last.Gauges)
+	}
+	// Quantiles are gauges, never counters: they must not appear in
+	// deltas.
+	if _, ok := doc.Deltas["query.latency_us.p50"]; ok {
+		t.Fatal("histogram quantile leaked into Deltas")
+	}
+}
+
+func TestHistoryCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.ticks").Add(1)
+	h := newHistory(r, HistoryOptions{Interval: time.Second})
+	h.Record()
+	r.Gauge("b.depth").Set(7)
+	h.Record()
+
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV rows = %d, want header + 2 points", len(rows))
+	}
+	header := strings.Join(rows[0], ",")
+	if header != "time,a.ticks,b.depth" {
+		t.Fatalf("CSV header = %q", header)
+	}
+	// First point predates b.depth: its cell must be empty, not zero.
+	if rows[1][1] != "1" || rows[1][2] != "" {
+		t.Fatalf("first CSV row = %v", rows[1])
+	}
+	if rows[2][2] != "7" {
+		t.Fatalf("second CSV row = %v", rows[2])
+	}
+}
+
+func TestHistoryStartStopAndNil(t *testing.T) {
+	var nilH *History
+	nilH.Record()
+	nilH.Stop()
+	if nilH.Series() != nil || nilH.Doc() != nil || nilH.Points() != 0 || len(nilH.Deltas()) != 0 {
+		t.Fatal("nil history not inert")
+	}
+	if StartHistory(nil, HistoryOptions{}) != nil {
+		t.Fatal("history on nil registry should be nil")
+	}
+
+	r := NewRegistry()
+	h := StartHistory(r, HistoryOptions{Interval: 2 * time.Millisecond, Window: 100 * time.Millisecond})
+	if h.Points() < 1 {
+		t.Fatal("no immediate first point")
+	}
+	for h.Points() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	before := h.Points()
+	h.Stop()
+	if h.Points() <= before {
+		t.Fatalf("Stop did not record a final point: %d then %d", before, h.Points())
+	}
+	h.Stop() // idempotent
+	if len(h.Series()) == 0 {
+		t.Fatal("empty series after ticking history")
+	}
+}

@@ -185,6 +185,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	spans    []*Span // completed or running root spans, in start order
 	trace    atomic.Pointer[TraceWriter]
+	flight   atomic.Pointer[FlightRecorder]
 	current  atomic.Pointer[Span] // most recently started un-ended span
 }
 

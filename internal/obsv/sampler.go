@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,8 +64,9 @@ type Sampler struct {
 }
 
 // StartSampler launches a runtime sampler attached to reg (nil when reg
-// is nil). Call Stop when done; the final tick runs at Stop so even work
-// shorter than one interval yields at least one sample.
+// is nil). An immediate first sample is taken, so even a process that
+// crashes within the first interval leaves a memory trajectory in its
+// diagnostic bundle. Call Stop when done; the final tick runs at Stop.
 func StartSampler(reg *Registry, opts SamplerOptions) *Sampler {
 	if reg == nil {
 		return nil
@@ -87,6 +89,7 @@ func StartSampler(reg *Registry, opts SamplerOptions) *Sampler {
 		done:        make(chan struct{}),
 		finished:    make(chan struct{}),
 	}
+	s.sample()
 	go s.loop()
 	return s
 }
@@ -166,6 +169,11 @@ func (s *Sampler) sample() {
 	if nowOver {
 		dir = "above"
 		s.reg.Counter("runtime.mem_budget_exceeded").Inc()
+		// First budget violation is incident-worthy: capture the state
+		// while the over-budget heap is still live (once per process —
+		// crossings can flap).
+		s.reg.Flight().TriggerOnce("mem_budget",
+			fmt.Sprintf("heap_inuse %d > budget %d (span %s)", sm.HeapInuse, budget, sm.Span))
 	}
 	tr.Emit(MemBudgetEvent{
 		Ev:        "mem_budget",

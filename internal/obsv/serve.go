@@ -17,6 +17,12 @@ type ServerOptions struct {
 	// Queries, when set, backs the /queries endpoint with live
 	// per-query introspection.
 	Queries *QueryTracker
+	// History, when set, backs the /metrics/history endpoint with the
+	// flight recorder's metric time series.
+	History *History
+	// Flight, when set, backs the /debug/bundle endpoint: a POST (or
+	// GET, for curl convenience) writes a diagnostic bundle on demand.
+	Flight *FlightRecorder
 	// ProgressInterval is the SSE emission cadence (default 1s).
 	ProgressInterval time.Duration
 }
@@ -40,6 +46,8 @@ type Server struct {
 	reg      *Registry
 	smp      *Sampler
 	queries  *QueryTracker
+	history  *History
+	flight   *FlightRecorder
 	interval time.Duration
 	start    time.Time
 	ln       net.Listener
@@ -62,6 +70,8 @@ func StartServer(addr string, reg *Registry, opts ServerOptions) (*Server, error
 		reg:      reg,
 		smp:      opts.Sampler,
 		queries:  opts.Queries,
+		history:  opts.History,
+		flight:   opts.Flight,
 		interval: opts.ProgressInterval,
 		start:    time.Now(),
 		ln:       ln,
@@ -71,9 +81,11 @@ func StartServer(addr string, reg *Registry, opts ServerOptions) (*Server, error
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/history", s.handleHistory)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/debug/bundle", s.handleBundle)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -105,9 +117,82 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	WriteProm(w, s.reg.Snapshot())
 }
 
+// handleHistory serves the flight recorder's metric time series: JSON
+// by default (the HistoryDoc: merged points + counter deltas and rates
+// over the window), CSV with ?format=csv or an Accept: text/csv header.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		http.Error(w, "history store not enabled", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" || strings.Contains(r.Header.Get("Accept"), "text/csv") {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		s.history.WriteCSV(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(s.history.Doc())
+}
+
+// handleBundle writes a diagnostic bundle on demand and reports its
+// path.
+func (s *Server) handleBundle(w http.ResponseWriter, _ *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder not enabled (-flight-dir)", http.StatusNotFound)
+		return
+	}
+	dir := s.flight.Trigger("http", "on-demand via /debug/bundle")
+	if dir == "" {
+		http.Error(w, "bundle write failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(map[string]string{"bundle": dir})
+}
+
+// healthzDoc is the JSON body of a degraded /healthz response.
+type healthzDoc struct {
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons"`
+}
+
+// healthReasons inspects the registry snapshot for degraded conditions:
+// trace events dropped at the byte cap, or live heap above the declared
+// memory budget. It reads only already-interned instruments (via the
+// snapshot), so probing health never pollutes /metrics with
+// zero-valued entries.
+func healthReasons(snap *Snapshot) []string {
+	var reasons []string
+	if d := snap.Counters["trace.dropped"]; d > 0 {
+		reasons = append(reasons, fmt.Sprintf("trace.dropped=%d: trace events lost at -trace-max-bytes cap", d))
+	}
+	budget := snap.Gauges[BudgetGaugeName]
+	heap := snap.Gauges["runtime.heap_inuse_bytes"]
+	if budget > 0 && heap > budget {
+		reasons = append(reasons, fmt.Sprintf("heap_inuse_bytes=%d exceeds mem_budget_bytes=%d", heap, budget))
+	}
+	return reasons
+}
+
+// handleHealthz reports liveness: 200 "ok" when healthy, 503 with a
+// JSON reason list when the process is degraded (trace drops, heap over
+// budget).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	reasons := healthReasons(s.reg.Snapshot())
+	if len(reasons) == 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(healthzDoc{Status: "degraded", Reasons: reasons})
 }
 
 // progressJSON is the /progress JSON document.

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package obsv
+
+import "os"
+
+// Non-unix platforms lack SIGQUIT/SIGUSR1: only interrupt-flush is
+// wired; bundles remain reachable via /debug/bundle.
+
+func notifySignals() []os.Signal {
+	return []os.Signal{os.Interrupt}
+}
+
+func classifySignal(sig os.Signal) (action signalAction, exitCode int) {
+	if sig == os.Interrupt {
+		return sigFlushExit, 130
+	}
+	return sigIgnore, 0
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package obsv
+
+import (
+	"os"
+	"syscall"
+)
+
+// Signal wiring for unix platforms: the full flight-recorder signal
+// vocabulary (SIGQUIT/SIGUSR1 bundles) on top of the flush-on-exit
+// pair.
+
+func notifySignals() []os.Signal {
+	return []os.Signal{syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT, syscall.SIGUSR1}
+}
+
+func classifySignal(sig os.Signal) (action signalAction, exitCode int) {
+	switch sig {
+	case syscall.SIGINT:
+		return sigFlushExit, 130
+	case syscall.SIGTERM:
+		return sigFlushExit, 143
+	case syscall.SIGQUIT:
+		return sigBundleExit, 2
+	case syscall.SIGUSR1:
+		return sigBundleContinue, 0
+	}
+	return sigIgnore, 0
+}

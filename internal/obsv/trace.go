@@ -22,6 +22,14 @@ type TraceWriter struct {
 	events   atomic.Int64
 	dropped  atomic.Int64
 	cDropped *Counter
+
+	// Tail ring of the most recent marshalled event lines (without the
+	// trailing newline), retained even for events dropped at the byte
+	// cap: a diagnostic bundle wants the trace leading up to the
+	// incident, which is exactly the part a capped sink no longer has.
+	tail     [][]byte
+	tailNext int
+	tailFull bool
 }
 
 // NewTraceWriter wraps w as a JSONL trace sink.
@@ -52,6 +60,45 @@ func (t *TraceWriter) SetDropCounter(c *Counter) {
 	t.cDropped = c
 }
 
+// SetTailCap sizes the in-memory tail ring of recent event lines (0
+// disables it). The ring holds marshalled lines, so memory is bounded
+// by n times the typical event size.
+func (t *TraceWriter) SetTailCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		t.tail = nil
+	} else {
+		t.tail = make([][]byte, n)
+	}
+	t.tailNext = 0
+	t.tailFull = false
+}
+
+// Tail returns the retained recent event lines in emission order
+// (oldest first), without trailing newlines. Nil when no tail ring is
+// configured. The lines are the marshalled bytes themselves; callers
+// must not mutate them.
+func (t *TraceWriter) Tail() [][]byte {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tail == nil {
+		return nil
+	}
+	if !t.tailFull {
+		return append([][]byte{}, t.tail[:t.tailNext]...)
+	}
+	out := make([][]byte, 0, len(t.tail))
+	out = append(out, t.tail[t.tailNext:]...)
+	return append(out, t.tail[:t.tailNext]...)
+}
+
 // Dropped returns the number of events dropped at the byte cap.
 func (t *TraceWriter) Dropped() int64 {
 	if t == nil {
@@ -76,6 +123,14 @@ func (t *TraceWriter) Emit(ev any) {
 	if err != nil {
 		t.err = err
 		return
+	}
+	if t.tail != nil {
+		t.tail[t.tailNext] = data
+		t.tailNext++
+		if t.tailNext == len(t.tail) {
+			t.tailNext = 0
+			t.tailFull = true
+		}
 	}
 	if t.max > 0 && t.written+int64(len(data))+1 > t.max {
 		t.dropped.Add(1)

@@ -77,6 +77,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetMetrics(opts.Metrics)
 	fact, err := relation.OpenFactReader(r.FactPath())
 	if err != nil {
 		r.Close()
@@ -231,6 +232,15 @@ func (e *Engine) endQuery(q *qctx, err error) error {
 	return err
 }
 
+// panicCtx is the capture context the public query ops defer: a panic
+// anywhere under the op is attributed to this query's id, op, and node
+// in the diagnostic bundle and the re-raised *obsv.PanicError.
+func (e *Engine) panicCtx(q *qctx, op string, id lattice.NodeID) func() string {
+	return func() string {
+		return fmt.Sprintf("query id=%d op=%s node=%s", q.id, op, e.nodeName(id))
+	}
+}
+
 // nodeName renders a node as its grouped dimension levels
 // ("dim.Level,dim.Level", "ALL" for the apex) for query records.
 func (e *Engine) nodeName(id lattice.NodeID) string {
@@ -288,6 +298,7 @@ func (e *Engine) whereString(preds []Predicate) string {
 // goroutines may query one Engine simultaneously.
 func (e *Engine) NodeQuery(id lattice.NodeID, fn func(Row) error) error {
 	q := e.beginQuery("node", id, "")
+	defer obsv.CapturePanic(e.reg, e.panicCtx(q, "node", id))
 	cfn := func(r Row) error { q.rows++; return fn(r) }
 	if e.reg == nil {
 		return e.endQuery(q, e.nodeQuery(id, q, cfn))
@@ -544,6 +555,7 @@ func (e *Engine) NodeCount(id lattice.NodeID) (int64, error) {
 // orders of magnitude cheaper than on formats that materialize TTs.
 func (e *Engine) IcebergQuery(id lattice.NodeID, countAgg int, minCount float64, fn func(Row) error) error {
 	q := e.beginQuery("iceberg", id, fmt.Sprintf("count>%v", minCount))
+	defer obsv.CapturePanic(e.reg, e.panicCtx(q, "iceberg", id))
 	cfn := func(r Row) error { q.rows++; return fn(r) }
 	if e.reg == nil {
 		return e.endQuery(q, e.icebergQuery(id, countAgg, minCount, q, cfn))

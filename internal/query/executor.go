@@ -38,7 +38,21 @@ func ForEach(workers, n int, task func(i int) error) error {
 		mu     sync.Mutex
 		errs   []error
 		wg     sync.WaitGroup
+		// First task panic (from any worker); re-raised on the calling
+		// goroutine after the others drain, so a panicking query batch
+		// surfaces through the caller's stack — with the *obsv.PanicError
+		// context the engine's own capture wrappers attached — instead of
+		// crashing the process from an anonymous goroutine.
+		panicVal any
 	)
+	capture := func(v any) {
+		mu.Lock()
+		if panicVal == nil {
+			panicVal = v
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
 	run := func() {
 		for {
 			i := next.Add(1) - 1
@@ -58,11 +72,26 @@ func ForEach(workers, n int, task func(i int) error) error {
 	for w := 1; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					capture(v)
+				}
+			}()
 			run()
 		}()
 	}
-	run() // the calling goroutine participates
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				capture(v)
+			}
+		}()
+		run() // the calling goroutine participates
+	}()
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 	return errors.Join(errs...)
 }
 

@@ -91,6 +91,7 @@ func (e *Engine) Explain(id lattice.NodeID, preds []Predicate, analyze bool) (*P
 		return plan, nil
 	}
 	q := e.beginQuery("explain", id, plan.Where)
+	defer obsv.CapturePanic(e.reg, e.panicCtx(q, "explain", id))
 	q.plan = plan
 	start := time.Now()
 	serr := e.scanNode(id, levels, f, q, func(Row) error { q.rows++; return nil })

@@ -1,0 +1,35 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachPropagatesPanic pins the parallel scan pool's crash
+// contract: a panic in any worker stops new claims, the pool drains,
+// and the first panic value re-raises on the calling goroutine (where
+// the engine's obsv.CapturePanic wrapper can annotate it).
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		var recovered any
+		func() {
+			defer func() { recovered = recover() }()
+			ForEach(workers, 100, func(i int) error {
+				if i == 3 {
+					panic("kaboom-3")
+				}
+				ran.Add(1)
+				return nil
+			})
+		}()
+		if recovered == nil || !strings.Contains(fmt.Sprint(recovered), "kaboom-3") {
+			t.Fatalf("workers=%d: recovered %v, want the task's panic value", workers, recovered)
+		}
+		if n := ran.Load(); n >= 100 {
+			t.Fatalf("workers=%d: all %d tasks ran despite a panic stopping claims", workers, n)
+		}
+	}
+}

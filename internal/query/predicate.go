@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/storage"
 )
 
@@ -45,6 +46,7 @@ func (e *Engine) NodeQueryWhere(id lattice.NodeID, preds []Predicate, fn func(Ro
 		where = e.whereString(preds)
 	}
 	q := e.beginQuery("where", id, where)
+	defer obsv.CapturePanic(e.reg, e.panicCtx(q, "where", id))
 	cfn := func(r Row) error { q.rows++; return fn(r) }
 	if e.reg == nil {
 		return e.endQuery(q, e.scanNode(id, levels, f, q, cfn))

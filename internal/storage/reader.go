@@ -9,6 +9,7 @@ import (
 	"cure/internal/bitmap"
 	"cure/internal/hierarchy"
 	"cure/internal/lattice"
+	"cure/internal/obsv"
 	"cure/internal/signature"
 )
 
@@ -20,6 +21,33 @@ type Reader struct {
 	enum *lattice.Enum
 
 	ntF, ttF, catF, aggF, bmF *os.File
+
+	// Global read accounting (nil-safe, set via SetMetrics): every
+	// attributed read tallies here as well as into the per-query IOStats,
+	// so /metrics and diagnostic bundles carry the process-wide storage
+	// read volume.
+	cReadBytes *obsv.Counter
+	cReads     *obsv.Counter
+}
+
+// SetMetrics attaches the registry's storage read counters
+// (storage.read.bytes / storage.read.calls) to the reader; nil reg
+// detaches them.
+func (r *Reader) SetMetrics(reg *obsv.Registry) {
+	if reg == nil {
+		r.cReadBytes, r.cReads = nil, nil
+		return
+	}
+	r.cReadBytes = reg.Counter("storage.read.bytes")
+	r.cReads = reg.Counter("storage.read.calls")
+}
+
+// account folds one attributed read of n bytes into the per-query tally
+// and the reader's global counters.
+func (r *Reader) account(io *IOStats, n int64) {
+	io.Add(n)
+	r.cReadBytes.Add(n)
+	r.cReads.Inc()
 }
 
 // OpenReader loads the manifest and hierarchy of a cube directory and
@@ -126,7 +154,7 @@ func (r *Reader) TTRowIDsIO(id lattice.NodeID, dst []int64, io *IOStats) ([]int6
 		if _, err := r.bmF.ReadAt(buf, nm.TTOff); err != nil {
 			return nil, fmt.Errorf("storage: TT bitmap of node %d: %w", id, err)
 		}
-		io.Add(nm.TTBmLen)
+		r.account(io, nm.TTBmLen)
 		bm, err := bitmap.Unmarshal(buf)
 		if err != nil {
 			return nil, err
@@ -142,7 +170,7 @@ func (r *Reader) TTRowIDsIO(id lattice.NodeID, dst []int64, io *IOStats) ([]int6
 	if _, err := r.ttF.ReadAt(buf, nm.TTOff); err != nil {
 		return nil, fmt.Errorf("storage: TT extent of node %d: %w", id, err)
 	}
-	io.Add(nm.TTRows * ttLogRowWidth)
+	r.account(io, nm.TTRows*ttLogRowWidth)
 	if cap(dst) < int(nm.TTRows) {
 		dst = make([]int64, 0, nm.TTRows)
 	}
@@ -200,7 +228,7 @@ func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats,
 		if _, err := r.ntF.ReadAt(buf, nm.NTOff+rg.Lo*width); err != nil {
 			return fmt.Errorf("storage: NT extent of node %d: %w", id, err)
 		}
-		io.Add(n * width)
+		r.account(io, n*width)
 		for i := int64(0); i < n; i++ {
 			rec := buf[i*width : (i+1)*width]
 			if r.m.DimsInline {
@@ -257,7 +285,7 @@ func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats
 		if _, err := r.catF.ReadAt(buf, nm.CATOff+rg.Lo*width); err != nil {
 			return fmt.Errorf("storage: CAT extent of node %d: %w", id, err)
 		}
-		io.Add(n * width)
+		r.account(io, n*width)
 		for i := int64(0); i < n; i++ {
 			rec := buf[i*width:]
 			var row CATRow
@@ -292,7 +320,7 @@ func (r *Reader) ReadAggregateIO(arowid int64, aggrs []float64, io *IOStats) (in
 	if _, err := r.aggF.ReadAt(buf, arowid*int64(width)); err != nil {
 		return 0, err
 	}
-	io.Add(int64(width))
+	r.account(io, int64(width))
 	rrowid := int64(-1)
 	off := 0
 	if r.m.CatFormat == signature.FormatA {
