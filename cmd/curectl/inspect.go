@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cure/internal/lattice"
+	"cure/internal/storage"
+)
+
+// cmdInspect renders the per-node extent table of a cube directory from
+// its manifest: rows, raw bytes, encoded bytes, compression ratio, and
+// the encoding histogram each compressed extent settled on. Works on
+// uncompressed (v1) cubes too, where every extent reports ratio 1.00.
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	cube := fs.String("cube", "", "cube directory (or positional: curectl inspect <cube-dir>)")
+	fs.Parse(args)
+	if *cube == "" && fs.NArg() == 1 {
+		*cube = fs.Arg(0)
+	}
+	if *cube == "" {
+		fatalf("inspect needs -cube or a cube directory argument")
+	}
+	r, err := storage.OpenReader(*cube)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer r.Close()
+	m := r.Manifest()
+	enum := r.Enum()
+	hier := r.Hier()
+
+	mode := m.Compression
+	if mode == "" {
+		mode = "none (fixed-width v1)"
+	}
+	fmt.Printf("manifest version: %d\n", m.Version)
+	fmt.Printf("compression:      %s\n", mode)
+
+	// histogram renders an encoding histogram as "enc:count" pairs.
+	histogram := func(c *storage.ExtentCodec) string {
+		if c == nil || len(c.Encodings) == 0 {
+			return "-"
+		}
+		keys := make([]string, 0, len(c.Encodings))
+		for k := range c.Encodings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s:%d", k, c.Encodings[k]))
+		}
+		return strings.Join(parts, " ")
+	}
+	ratio := func(raw, enc int64) string {
+		if enc <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", float64(raw)/float64(enc))
+	}
+
+	type extRow struct {
+		node           int64
+		name, rel      string
+		rows, raw, enc int64
+		hist           string
+	}
+	var rows []extRow
+	add := func(node int64, name, rel string, n, rawBytes int64, c *storage.ExtentCodec, hist string) {
+		enc := rawBytes
+		if c != nil {
+			enc = c.EncodedBytes()
+			rawBytes = c.RawBytes
+		}
+		rows = append(rows, extRow{node: node, name: name, rel: rel, rows: n, raw: rawBytes, enc: enc, hist: hist})
+	}
+	for k, nm := range m.Nodes {
+		id, err := strconv.ParseInt(k, 10, 64)
+		if err != nil {
+			fatalf("manifest node key %q: %v", k, err)
+		}
+		name := enum.Name(lattice.NodeID(id))
+		arity := 0
+		for d, l := range enum.Decode(lattice.NodeID(id), nil) {
+			if !hier.Dims[d].IsAll(l) {
+				arity++
+			}
+		}
+		if nm.NTRows > 0 {
+			add(id, name, "nt", nm.NTRows, nm.NTRows*int64(m.NTRowWidth(arity)), nm.NTCodec, histogram(nm.NTCodec))
+		}
+		if nm.TTRows > 0 {
+			if nm.TTKind == storage.TTBitmap {
+				add(id, name, "tt(bm)", nm.TTRows, nm.TTBmLen, nil, "bitmap")
+			} else {
+				add(id, name, "tt", nm.TTRows, nm.TTRows*8, nm.TTCodec, histogram(nm.TTCodec))
+			}
+		}
+		if nm.CATRows > 0 {
+			add(id, name, "cat", nm.CATRows, nm.CATRows*int64(m.CATRowWidth()), nm.CATCodec, histogram(nm.CATCodec))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].node != rows[j].node {
+			return rows[i].node < rows[j].node
+		}
+		return rows[i].rel < rows[j].rel
+	})
+	if m.AggRows > 0 {
+		add(-1, "(shared)", "agg", m.AggRows, m.AggRows*int64(m.AggRowWidth()), m.AggCodec, histogram(m.AggCodec))
+	}
+
+	fmt.Printf("%-6s %-28s %-7s %10s %12s %12s %8s  %s\n",
+		"node", "name", "rel", "rows", "raw B", "enc B", "ratio", "encodings")
+	var totRaw, totEnc int64
+	for _, e := range rows {
+		totRaw += e.raw
+		totEnc += e.enc
+		node := strconv.FormatInt(e.node, 10)
+		if e.node < 0 {
+			node = "-"
+		}
+		fmt.Printf("%-6s %-28s %-7s %10d %12d %12d %8s  %s\n",
+			node, e.name, e.rel, e.rows, e.raw, e.enc, ratio(e.raw, e.enc), e.hist)
+	}
+	fmt.Printf("%-6s %-28s %-7s %10s %12d %12d %8s\n",
+		"", "TOTAL", "", "", totRaw, totEnc, ratio(totRaw, totEnc))
+	fmt.Printf("cube bytes on disk: %d\n", m.Sizes.Total())
+	fmt.Printf("overall ratio: %s\n", ratio(totRaw, totEnc))
+}

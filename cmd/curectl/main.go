@@ -48,6 +48,8 @@ func main() {
 		cmdBuild(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
 	case "nodes":
 		cmdNodes(os.Args[2:])
 	case "query":
@@ -74,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: curectl build|info|nodes|query|iceberg|explain|import|update|verify|diff|estimate|doctor [flags]")
+	fmt.Fprintln(os.Stderr, "usage: curectl build|info|inspect|nodes|query|iceberg|explain|import|update|verify|diff|estimate|doctor [flags]")
 	os.Exit(2)
 }
 
@@ -200,6 +202,7 @@ func cmdBuild(args []string) {
 	flat := fs.Bool("flat", false, "FCURE: flat cube at base levels only")
 	iceberg := fs.Int64("iceberg", 0, "min-count threshold (iceberg cube)")
 	par := fs.Int("parallelism", 0, "worker count for the build (0/1 = sequential; >1 fans the cubing recursion across cores)")
+	compress := fs.String("compress", "auto", `extent compression: "auto" (block-compressed columnar extents) or "none" (fixed-width v1 layout)`)
 	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
 	if *fact == "" || *hierPath == "" || *out == "" {
@@ -226,6 +229,7 @@ func cmdBuild(args []string) {
 		Flat:         *flat,
 		Iceberg:      *iceberg,
 		Parallelism:  *par,
+		Compression:  *compress,
 		Metrics:      obs.Registry(),
 	})
 	if ferr := obs.Finish(); ferr != nil && err == nil {
@@ -587,8 +591,12 @@ func renderPlan(p *query.Plan) {
 		if i == len(p.Extents)-1 {
 			branch = "└─"
 		}
-		fmt.Printf(" %s %-3s node %-6d %-28s rows %-8d scan %-8d %-11s est %d B\n",
-			branch, ext.Relation, ext.Node, ext.NodeName, ext.Rows, ext.ScanRows, ext.Access, ext.EstBytes)
+		compressed := ""
+		if ext.Compressed {
+			compressed = " (compressed)"
+		}
+		fmt.Printf(" %s %-3s node %-6d %-28s rows %-8d scan %-8d %-11s est %d B%s\n",
+			branch, ext.Relation, ext.Node, ext.NodeName, ext.Rows, ext.ScanRows, ext.Access, ext.EstBytes, compressed)
 		if z := ext.Zones; z != nil {
 			cont := "│"
 			if i == len(p.Extents)-1 {
@@ -610,8 +618,11 @@ func renderPlan(p *query.Plan) {
 	fmt.Printf(" estimate: %d rows scanned, %d bytes read\n", p.EstScanRows, p.EstBytes)
 	if a := p.Actual; a != nil {
 		fmt.Printf(" actual (query %d): %d rows in %dus\n", p.QueryID, a.Rows, a.ElapsedUs)
-		fmt.Printf("  io: %d bytes in %d reads; cache %d hits / %d faults\n",
-			a.IO.BytesRead, a.IO.Reads, a.IO.CacheHits, a.IO.PagesFaulted)
+		fmt.Printf("  io: %d bytes in %d reads; cache %d hits / %d faults", a.IO.BytesRead, a.IO.Reads, a.IO.CacheHits, a.IO.PagesFaulted)
+		if a.IO.BytesDecoded > 0 {
+			fmt.Printf("; %d bytes decoded", a.IO.BytesDecoded)
+		}
+		fmt.Println()
 		fmt.Printf("  scanned: tt %d, nt %d, cat %d; zones kept %d, skipped %d\n",
 			a.IO.TTScanned, a.IO.NTScanned, a.IO.CATScanned, a.IO.ZoneBlocksKept, a.IO.ZoneBlocksSkipped)
 	}

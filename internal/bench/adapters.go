@@ -53,7 +53,10 @@ func (q cureQuerier) Close() error { return q.e.Close() }
 // variant over it, recording per-phase wall times into the harness
 // registry (they surface as the Phases of the group's results).
 func (h *Harness) buildCURE(dir string, ft *relation.FactTable, hier *hierarchy.Schema, mod func(*core.Options)) (*core.BuildStats, error) {
-	opts := core.Options{Dir: dir, Hier: hier, AggSpecs: stdSpecs(), Metrics: h.reg, Parallelism: h.cfg.Parallelism}
+	opts := core.Options{
+		Dir: dir, Hier: hier, AggSpecs: stdSpecs(), Metrics: h.reg,
+		Parallelism: h.cfg.Parallelism, Compression: h.cfg.Compression,
+	}
 	if mod != nil {
 		mod(&opts)
 	}

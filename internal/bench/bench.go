@@ -47,6 +47,11 @@ type Config struct {
 	// NoIndex restricts the query-throughput experiment to its full-scan
 	// arms (the zone-map ablation); by default both arms run.
 	NoIndex bool
+	// Compression is the extent storage format for every CURE build the
+	// harness runs ("auto" = compressed columnar blocks, the default;
+	// "none" = fixed-width v1). query-throughput additionally runs an
+	// uncompressed ablation arm whenever compression is on.
+	Compression string
 	// Metrics, when set, is the registry the harness instruments its
 	// builds with (so a caller can dump cumulative counters afterwards);
 	// by default the harness creates a private one. Either way the
@@ -63,6 +68,7 @@ func DefaultConfig() Config {
 		Queries:      1000,
 		Seed:         1,
 		MaxDims:      16,
+		Compression:  "auto",
 	}
 }
 
@@ -164,6 +170,9 @@ func New(cfg Config) (*Harness, error) {
 	}
 	if cfg.MaxDims <= 0 {
 		cfg.MaxDims = def.MaxDims
+	}
+	if cfg.Compression == "" {
+		cfg.Compression = def.Compression
 	}
 	reg := cfg.Metrics
 	if reg == nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -263,9 +264,11 @@ func TestQueryThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two arms (zone maps / no index) × three client counts.
-	if len(res.Rows) != 6 {
-		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	// Three arms (zone maps / no index / no compress) × three client
+	// counts: the default format is compressed, so the uncompressed twin
+	// rides along as an ablation.
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
 	}
 	for i, row := range res.Rows {
 		if row[7] != res.Rows[0][7] {
@@ -279,6 +282,17 @@ func TestQueryThroughput(t *testing.T) {
 	if res.Rows[3][6] != "0" {
 		t.Errorf("no-index arm skipped %s blocks", res.Rows[3][6])
 	}
+	// The compressed cube must be smaller than its uncompressed twin
+	// (column 9 is cube_bytes_on_disk; rows 0 and 6 are the zone-map and
+	// no-compress arms at C=1).
+	compB, err1 := strconv.ParseInt(res.Rows[0][9], 10, 64)
+	rawB, err2 := strconv.ParseInt(res.Rows[6][9], 10, 64)
+	if err1 != nil || err2 != nil || compB <= 0 || rawB <= compB {
+		t.Errorf("cube_bytes_on_disk: compressed %s, uncompressed %s", res.Rows[0][9], res.Rows[6][9])
+	}
+	if res.Rows[6][0] != "no compress" {
+		t.Errorf("arm 6 = %q, want the no-compress ablation", res.Rows[6][0])
+	}
 	// Per-arm wall times surface as phases for the regression gate.
 	found := 0
 	for path := range res.Phases {
@@ -286,8 +300,8 @@ func TestQueryThroughput(t *testing.T) {
 			found++
 		}
 	}
-	if found != 6 {
-		t.Errorf("phase entries = %d, want 6", found)
+	if found != 9 {
+		t.Errorf("phase entries = %d, want 9", found)
 	}
 
 	// The NoIndex config restricts the experiment to its ablation arms.

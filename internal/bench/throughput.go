@@ -31,9 +31,12 @@ type tpOp struct {
 // runThroughput measures concurrent query serving: a mixed workload
 // (~40% point slices, ~30% range selections, ~30% roll-up scans) driven
 // by C ∈ {1, 4, 16} concurrent clients over one shared engine, with and
-// without zone-map indexes on the same store. Reported per arm: QPS,
-// latency percentiles from the query.latency_us histogram, and the
-// cumulative zone-map block counters.
+// without zone-map indexes on the same store, plus an uncompressed-twin
+// ablation arm when the configured format is compressed. Reported per
+// arm: QPS, latency percentiles from the query.latency_us histogram,
+// the cumulative zone-map block counters, physical scan MB/s, and
+// cube_bytes_on_disk. Every arm must return the same row volume — the
+// cross-format equivalence check rides along with the timing.
 func (h *Harness) runThroughput() (map[string]*Result, error) {
 	density := h.cfg.APBDensities[0]
 	ft, hier, err := gen.APB(density, h.cfg.Seed)
@@ -41,10 +44,27 @@ func (h *Harness) runThroughput() (map[string]*Result, error) {
 		return nil, err
 	}
 	dir := filepath.Join(h.cfg.WorkDir, "throughput")
-	if _, err := h.buildCURE(dir, ft, hier, func(o *core.Options) {
+	stats, err := h.buildCURE(dir, ft, hier, func(o *core.Options) {
 		o.ZoneBlockRows = throughputZoneBlockRows
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, err
+	}
+	// Whenever the configured format is compressed, build an uncompressed
+	// twin of the same cube for the -compress=none ablation arm: same
+	// data, same zone maps, fixed-width v1 extents.
+	nocompDir := ""
+	var nocompBytes int64
+	if h.cfg.Compression != "none" && !h.cfg.NoIndex {
+		nocompDir = filepath.Join(h.cfg.WorkDir, "throughput_nocompress")
+		ns, err := h.buildCURE(nocompDir, ft, hier, func(o *core.Options) {
+			o.ZoneBlockRows = throughputZoneBlockRows
+			o.Compression = "none"
+		})
+		if err != nil {
+			return nil, err
+		}
+		nocompBytes = ns.Sizes.Total()
 	}
 
 	// Pre-generate the workload once; every arm replays the same ops.
@@ -100,22 +120,37 @@ func (h *Harness) runThroughput() (map[string]*Result, error) {
 	res := &Result{
 		ID:     "query-throughput",
 		Title:  "Concurrent query serving: QPS and latency, zone maps vs full scans",
-		Header: []string{"index", "clients", "QPS", "p50", "p90", "p99", "blocks skipped", "rows"},
+		Header: []string{"index", "clients", "QPS", "p50", "p90", "p99", "blocks skipped", "rows", "scan MB/s", "cube_bytes_on_disk"},
 		Notes: []string{
 			fmt.Sprintf("APB-1 density %.3g (%s tuples); %d mixed ops per arm (40%% point slice / 30%% range / 30%% roll-up), shared engine, full fact cache", density, fmtCount(int64(ft.Len())), len(ops)),
+			fmt.Sprintf("storage format %q; scan MB/s counts physical extent bytes read per second", h.cfg.Compression),
 		},
 	}
-	arms := []bool{false, true} // with index, then -no-index
+	// Arm families: zone maps and full scans over the configured format,
+	// plus (when compressed) zone maps over the uncompressed twin.
+	type armSpec struct {
+		label   string
+		dir     string
+		noIndex bool
+		suffix  string
+		cubeB   int64
+	}
+	arms := []armSpec{
+		{label: "zone maps", dir: dir, cubeB: stats.Sizes.Total()},
+		{label: "no index", dir: dir, noIndex: true, suffix: ".noindex", cubeB: stats.Sizes.Total()},
+	}
 	if h.cfg.NoIndex {
-		arms = []bool{true}
+		arms = arms[1:2]
+	} else if nocompDir != "" {
+		arms = append(arms, armSpec{label: "no compress", dir: nocompDir, suffix: ".nocompress", cubeB: nocompBytes})
 	}
 	var wantRows int64 = -1
-	for _, noIndex := range arms {
+	for _, arm := range arms {
 		for _, c := range []int{1, 4, 16} {
 			reg := obsv.NewRegistry()
 			tracker := obsv.NewQueryTracker(reg, 64)
-			eng, err := query.Open(dir, query.Options{
-				CacheFraction: 1, PinAggregates: true, Metrics: reg, Queries: tracker, NoIndex: noIndex,
+			eng, err := query.Open(arm.dir, query.Options{
+				CacheFraction: 1, PinAggregates: true, Metrics: reg, Queries: tracker, NoIndex: arm.noIndex,
 			})
 			if err != nil {
 				return nil, err
@@ -166,18 +201,15 @@ func (h *Harness) runThroughput() (map[string]*Result, error) {
 			if len(tracker.Recent()) == 0 {
 				return nil, fmt.Errorf("bench: throughput arm recorded no completed queries")
 			}
-			arm := "zone maps"
-			phase := fmt.Sprintf("query/throughput.c%d", c)
-			if noIndex {
-				arm = "no index"
-				phase += ".noindex"
-			}
+			phase := fmt.Sprintf("query/throughput.c%d%s", c, arm.suffix)
 			h.phases[phase] += wall
-			res.AddRow(arm, fmt.Sprintf("%d", c),
+			res.AddRow(arm.label, fmt.Sprintf("%d", c),
 				fmtCount(int64(float64(len(ops))/wall)),
 				fmtDur(float64(lat.P50)/1e6), fmtDur(float64(lat.P90)/1e6), fmtDur(float64(lat.P99)/1e6),
 				fmtCount(snap.Counters["query.index.blocks_skipped"]),
-				fmtCount(snap.Counters["query.rows"]))
+				fmtCount(snap.Counters["query.rows"]),
+				fmt.Sprintf("%.1f", float64(snap.Counters["query.bytes_read"])/wall/1e6),
+				fmt.Sprintf("%d", arm.cubeB))
 		}
 	}
 	return map[string]*Result{"query-throughput": res}, nil

@@ -82,6 +82,11 @@ type Options struct {
 	// the cube's extents at (0 = storage.DefaultZoneBlockRows, negative
 	// disables zone maps).
 	ZoneBlockRows int
+	// Compression selects the extent storage format: "" or "none" keeps
+	// the fixed-width v1 layout, "auto" rewrites every extent into
+	// compressed columnar blocks at Finalize (block granularity = the
+	// effective ZoneBlockRows, so zone pruning skips whole blocks).
+	Compression string
 	// TempDir holds partition files (default: Dir/tmp).
 	TempDir string
 	// KeepPartitions leaves partition files on disk after the build
@@ -208,6 +213,7 @@ func Build(opts Options) (*BuildStats, error) {
 		Resolver:      resolver,
 		Iceberg:       opts.Iceberg,
 		ZoneBlockRows: opts.ZoneBlockRows,
+		Compression:   opts.Compression,
 		Metrics:       reg,
 	})
 	if err != nil {

@@ -41,8 +41,10 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	hier := paperHier(t)
 	// Large enough that the build cannot outrun the first scrape loop
 	// iterations even on a loaded single-core machine — observing the
-	// running build below must stay deterministic in practice.
-	ft := duplicatedFact(t, 32000, 31)
+	// running build below must stay deterministic in practice. (96k base
+	// rows: at 32k a heavily loaded VM could finish the build before the
+	// scrape loop caught a running span.)
+	ft := duplicatedFact(t, 96000, 31)
 	dir := t.TempDir()
 	factPath := filepath.Join(dir, "fact.bin")
 	if err := relation.WriteFactFile(factPath, ft); err != nil {
@@ -67,7 +69,7 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	// the partitioner to find a sound split, small enough both to force
 	// the external path and to sit far below the process's real heap use
 	// (so the sampler must record a budget crossing).
-	const memBudget = 1_280_000
+	const memBudget = 3_840_000
 	buildDone := make(chan error, 1)
 	var stats *BuildStats
 	go func() {

@@ -98,9 +98,10 @@ func buildWideCube(t *testing.T) string {
 	}
 	dir := filepath.Join(t.TempDir(), "cube")
 	if _, err := core.BuildFromTable(ft, core.Options{
-		Dir:      dir,
-		Hier:     hier,
-		AggSpecs: []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}},
+		Dir:         dir,
+		Hier:        hier,
+		AggSpecs:    []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}},
+		Compression: testCompression(),
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,238 @@
+package query
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"cure/internal/core"
+	"cure/internal/hierarchy"
+	"cure/internal/obsv"
+	"cure/internal/relation"
+)
+
+// testCompression returns the Compression mode the cube-building test
+// helpers pass to core: the CURE_TEST_COMPRESSION env var when set
+// ("none" or "auto"), the fixed-width v1 default otherwise. CI runs the
+// query suites once per mode, so every test in this package doubles as a
+// compressed-format regression test.
+func testCompression() string { return os.Getenv("CURE_TEST_COMPRESSION") }
+
+// buildTwin builds a cube over ft with the given compression mode.
+func buildTwin(t *testing.T, ft *relation.FactTable, hier *hierarchy.Schema, mode string, plus bool) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "cube")
+	if _, err := core.BuildFromTable(ft, core.Options{
+		Dir: dir, Hier: hier,
+		AggSpecs: []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+		},
+		Plus:          plus,
+		ZoneBlockRows: 32,
+		Compression:   mode,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCompressedQueryEquivalence is the tentpole acceptance check: a
+// compressed cube answers every node query byte-identically to its
+// uncompressed twin, across the Diff sweep and at C = 1, 4, 16
+// concurrent clients (an undersized decoded-block cache keeps evictions
+// racing shared-block readers under -race).
+func TestCompressedQueryEquivalence(t *testing.T) {
+	for _, plus := range []bool{false, true} {
+		t.Run(fmt.Sprintf("plus=%v", plus), func(t *testing.T) {
+			_, hier, ft := buildTestCube(t, plus)
+			dirNone := buildTwin(t, ft, hier, "none", plus)
+			dirAuto := buildTwin(t, ft, hier, "auto", plus)
+
+			none, err := OpenDefault(dirNone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer none.Close()
+			reg := obsv.NewRegistry()
+			auto, err := Open(dirAuto, Options{
+				CacheFraction: 1, PinAggregates: true, Metrics: reg,
+				DecodedCacheBytes: 64 << 10, // undersized: force evictions
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer auto.Close()
+
+			if none.Manifest().Compressed() || !auto.Manifest().Compressed() {
+				t.Fatalf("compression flags: none=%q auto=%q",
+					none.Manifest().Compression, auto.Manifest().Compression)
+			}
+			rep, err := Diff(none, auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Equal() {
+				t.Fatalf("compressed cube differs: %v", rep.Differences)
+			}
+
+			nodes := none.Enum().AllNodes()
+			want := make([][]string, len(nodes))
+			for i := range nodes {
+				want[i] = collectNode(t, none, int64(i))
+			}
+			for _, c := range []int{1, 4, 16} {
+				got := make([][]string, len(nodes))
+				var mu sync.Mutex
+				if err := auto.NodeQueryBatch(c, nodes, func(qi int, r Row) error {
+					s := fmt.Sprintf("%v|%v|%d", r.Dims, r.Aggrs, r.RRowid)
+					mu.Lock()
+					got[qi] = append(got[qi], s)
+					mu.Unlock()
+					return nil
+				}); err != nil {
+					t.Fatalf("C=%d: %v", c, err)
+				}
+				for qi := range nodes {
+					sort.Strings(got[qi])
+					if len(got[qi]) != len(want[qi]) {
+						t.Fatalf("C=%d node %d: %d rows, want %d", c, qi, len(got[qi]), len(want[qi]))
+					}
+					for i := range want[qi] {
+						if got[qi][i] != want[qi][i] {
+							t.Fatalf("C=%d node %d row %d: %q != %q", c, qi, i, got[qi][i], want[qi][i])
+						}
+					}
+				}
+			}
+			snap := reg.Snapshot()
+			if snap.Counters["query.bytes_decoded"] == 0 {
+				t.Error("compressed scans attributed no decoded bytes")
+			}
+			if snap.Counters["query.block_cache.hits"] == 0 {
+				t.Error("repeated scans never hit the decoded-block cache")
+			}
+		})
+	}
+}
+
+// TestV1CubeFixtureCompat pins the backward-compat story: a cube built
+// with Compression "none" is a byte-for-byte v1 directory (manifest
+// version 1, no codec metadata) and the same Engine opens and queries it
+// without ever touching a decode path.
+func TestV1CubeFixtureCompat(t *testing.T) {
+	_, hier, ft := buildTestCube(t, false)
+	dir := buildTwin(t, ft, hier, "none", false)
+	reg := obsv.NewRegistry()
+	eng, err := Open(dir, Options{CacheFraction: 1, PinAggregates: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	m := eng.Manifest()
+	if m.Version != 1 || m.Compressed() || m.AggCodec != nil {
+		t.Fatalf("v1 fixture: version=%d compression=%q aggCodec=%v", m.Version, m.Compression, m.AggCodec)
+	}
+	for _, nm := range m.Nodes {
+		if nm.NTCodec != nil || nm.TTCodec != nil || nm.CATCodec != nil {
+			t.Fatal("v1 fixture carries codec metadata")
+		}
+	}
+	rows := 0
+	for i := range eng.Enum().AllNodes() {
+		rows += len(collectNode(t, eng, int64(i)))
+	}
+	if rows == 0 {
+		t.Fatal("v1 cube returned no rows")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["query.bytes_decoded"] != 0 {
+		t.Errorf("v1 reads decoded %d bytes", snap.Counters["query.bytes_decoded"])
+	}
+	if snap.Counters["query.bytes_read"] == 0 {
+		t.Error("v1 reads attributed no bytes")
+	}
+}
+
+// TestExplainCompressedEstimates checks the EXPLAIN story on a
+// compressed cube: extents are marked compressed, byte estimates come
+// from the codec's block offsets (encoded bytes, not raw row widths),
+// and ANALYZE actuals carry the decoded bytes that settle into the
+// query.bytes_decoded counter.
+func TestExplainCompressedEstimates(t *testing.T) {
+	_, hier, ft := buildIndexedCube(t, false)
+	dir := filepath.Join(t.TempDir(), "cube")
+	if _, err := core.BuildFromTable(ft, core.Options{
+		Dir: dir, Hier: hier,
+		AggSpecs:      []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}},
+		ZoneBlockRows: 8,
+		Compression:   "auto",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obsv.NewRegistry()
+	eng, err := Open(dir, Options{CacheFraction: 1, PinAggregates: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	node := eng.Enum().Encode([]int{0, 0})
+	preds := []Predicate{{Dim: 0, Level: 0, Lo: 5, Hi: 10}}
+	before := reg.Snapshot().Counters
+	plan, err := eng.Explain(node, preds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot().Counters
+
+	m := eng.Manifest()
+	arity := 2
+	for _, ext := range plan.Extents {
+		if !ext.Compressed {
+			t.Errorf("extent %s/%d not marked compressed", ext.Relation, ext.Node)
+		}
+		if ext.EstBytes <= 0 {
+			t.Errorf("extent %s/%d: est %d bytes", ext.Relation, ext.Node, ext.EstBytes)
+		}
+		if ext.Relation == "nt" && ext.EstBytes >= ext.Rows*int64(m.NTRowWidth(arity)) {
+			t.Errorf("nt estimate %d not below raw extent size %d",
+				ext.EstBytes, ext.Rows*int64(m.NTRowWidth(arity)))
+		}
+	}
+	io := plan.Actual.IO
+	if io.BytesDecoded == 0 {
+		t.Error("compressed ANALYZE decoded no bytes")
+	}
+	if got := after["query.bytes_decoded"] - before["query.bytes_decoded"]; io.BytesDecoded != got {
+		t.Errorf("bytes decoded: plan %d, counter delta %d", io.BytesDecoded, got)
+	}
+}
+
+// TestBlockCacheDisabled pins the negative budget: the engine attaches
+// no decoded-block cache, and every block read decodes.
+func TestBlockCacheDisabled(t *testing.T) {
+	_, hier, ft := buildTestCube(t, false)
+	dir := buildTwin(t, ft, hier, "auto", false)
+	reg := obsv.NewRegistry()
+	eng, err := Open(dir, Options{
+		CacheFraction: 1, PinAggregates: true, Metrics: reg,
+		DecodedCacheBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	queryAll(t, eng)
+	queryAll(t, eng)
+	snap := reg.Snapshot()
+	if snap.Counters["query.block_cache.hits"] != 0 {
+		t.Errorf("disabled cache recorded %d hits", snap.Counters["query.block_cache.hits"])
+	}
+	if snap.Counters["query.bytes_decoded"] == 0 {
+		t.Error("compressed scans attributed no decoded bytes")
+	}
+}

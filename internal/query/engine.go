@@ -28,6 +28,10 @@ type Options struct {
 	// ablation arm of the query-throughput experiment); selections then
 	// fall back to full extent scans.
 	NoIndex bool
+	// DecodedCacheBytes budgets the decoded-block cache of compressed
+	// cubes in raw-equivalent bytes (0 = a 32 MiB default, negative =
+	// disabled). Uncompressed cubes never allocate one.
+	DecodedCacheBytes int64
 	// Metrics is the optional observability registry: cache
 	// hit/miss/eviction counters, per-query row counters, and a
 	// node-query latency histogram (microseconds). nil disables it.
@@ -60,6 +64,7 @@ type Engine struct {
 	cIdxHits    *obsv.Counter
 	cIdxSkipped *obsv.Counter
 	cBytes      *obsv.Counter
+	cDecoded    *obsv.Counter
 	cWhere      *obsv.Counter
 	hWhere      *obsv.Histogram
 	hQuery      *obsv.Histogram
@@ -99,6 +104,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 		cIdxHits:    opts.Metrics.Counter("query.index.hits"),
 		cIdxSkipped: opts.Metrics.Counter("query.index.blocks_skipped"),
 		cBytes:      opts.Metrics.Counter("query.bytes_read"),
+		cDecoded:    opts.Metrics.Counter("query.bytes_decoded"),
 		cWhere:      opts.Metrics.Counter("query.where.count"),
 		hWhere:      opts.Metrics.Histogram("query.where.latency_us"),
 		hQuery:      opts.Metrics.Histogram("query.latency_us"),
@@ -107,6 +113,14 @@ func Open(dir string, opts Options) (*Engine, error) {
 	}
 	e.zoneOffs, _ = storage.ZoneSlots(r.Hier())
 	opts.Metrics.Gauge("query.cache.fraction_pct").Set(int64(opts.CacheFraction * 100))
+	if r.Manifest().Compressed() {
+		// Compressed cubes read through a decoded-block cache: a hit costs
+		// neither the pread nor the decode. Attached before any read path
+		// runs, per the reader's concurrency contract.
+		if bc := newBlockCache(opts.DecodedCacheBytes, opts.Metrics); bc != nil {
+			r.SetBlockCache(bc)
+		}
+	}
 	if opts.PinAggregates {
 		if e.aggRaw, err = r.AggregatesRaw(); err != nil {
 			e.Close()
@@ -188,6 +202,7 @@ func (q *qctx) queryIO() obsv.QueryIO {
 	return obsv.QueryIO{
 		BytesRead:         q.io.BytesRead,
 		Reads:             q.io.Reads,
+		BytesDecoded:      q.io.BytesDecoded,
 		CacheHits:         q.cacheHits,
 		PagesFaulted:      q.pagesFaulted,
 		TTScanned:         q.ttScanned,
@@ -221,6 +236,7 @@ func (e *Engine) endQuery(q *qctx, err error) error {
 	e.cIdxHits.Add(q.zoneKept)
 	e.cIdxSkipped.Add(q.zoneSkipped)
 	e.cBytes.Add(q.io.BytesRead)
+	e.cDecoded.Add(q.io.BytesDecoded)
 	e.cRows.Add(q.rows)
 	if e.queries != nil {
 		var plan any

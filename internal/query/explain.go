@@ -49,8 +49,13 @@ type PlanExtent struct {
 	ScanRows int64 `json:"scan_rows"`
 	// EstBytes estimates the read cost: TT extents are always fetched
 	// whole; NT/CAT extents read only the kept ranges; unpinned
-	// AGGREGATES lookups add one row per CAT reference.
+	// AGGREGATES lookups add one row per CAT reference. Compressed
+	// extents estimate encoded bytes — the blocks overlapping the kept
+	// ranges — not raw row widths.
 	EstBytes int64 `json:"est_bytes"`
+	// Compressed reports that the extent is stored block-compressed, so
+	// the scan decodes blocks instead of reading fixed-width rows.
+	Compressed bool `json:"compressed,omitempty"`
 	// Access is "linear" (full scan), "zone" (zone-map block pruning),
 	// or "zone+narrow" (pruning after sorted-slot binary-search
 	// narrowing, the CURE+ path).
@@ -164,47 +169,70 @@ func (e *Engine) buildPlan(id lattice.NodeID, levels []int, f *scanFilter) *Plan
 		}
 		pz, scan := zones(nm.TTZones, nm.TTRows)
 		plan.Extents = append(plan.Extents, PlanExtent{
-			Relation: "tt",
-			Node:     int64(anc),
-			NodeName: e.nodeName(anc),
-			Rows:     nm.TTRows,
-			ScanRows: scan,
-			EstBytes: nm.TTBytes(), // TT extents are fetched whole
-			Access:   access(pz),
-			Zones:    pz,
+			Relation:   "tt",
+			Node:       int64(anc),
+			NodeName:   e.nodeName(anc),
+			Rows:       nm.TTRows,
+			ScanRows:   scan,
+			EstBytes:   nm.TTBytes(), // TT extents are fetched whole
+			Compressed: nm.TTCodec != nil,
+			Access:     access(pz),
+			Zones:      pz,
 		})
 	}
 	if nm, ok := m.NodeMeta(id); ok {
+		// keptRanges maps a pruning verdict to the ranges a compressed
+		// estimate covers (nil = the whole extent).
+		keptRanges := func(pz *PlanZones) []storage.RowRange {
+			if pz == nil {
+				return nil
+			}
+			return pz.Ranges
+		}
 		if nm.NTRows > 0 {
 			pz, scan := zones(nm.NTZones, nm.NTRows)
+			est := scan * int64(m.NTRowWidth(arity))
+			if nm.NTCodec != nil {
+				est = nm.NTCodec.BytesForRanges(keptRanges(pz))
+			}
 			plan.Extents = append(plan.Extents, PlanExtent{
-				Relation: "nt",
-				Node:     int64(id),
-				NodeName: plan.NodeName,
-				Rows:     nm.NTRows,
-				ScanRows: scan,
-				EstBytes: scan * int64(m.NTRowWidth(arity)),
-				Access:   access(pz),
-				Zones:    pz,
+				Relation:   "nt",
+				Node:       int64(id),
+				NodeName:   plan.NodeName,
+				Rows:       nm.NTRows,
+				ScanRows:   scan,
+				EstBytes:   est,
+				Compressed: nm.NTCodec != nil,
+				Access:     access(pz),
+				Zones:      pz,
 			})
 		}
 		if nm.CATRows > 0 {
 			pz, scan := zones(nm.CATZones, nm.CATRows)
 			est := scan * int64(m.CATRowWidth())
+			if nm.CATCodec != nil {
+				est = nm.CATCodec.BytesForRanges(keptRanges(pz))
+			}
 			if e.aggRaw == nil {
 				// Unpinned AGGREGATES: every visited CAT reference costs
-				// one AGGREGATES row read.
-				est += scan * int64(m.AggRowWidth())
+				// one AGGREGATES row read — estimated at the relation's
+				// mean encoded row cost when it is compressed.
+				aggRow := int64(m.AggRowWidth())
+				if m.AggCodec != nil && m.AggRows > 0 {
+					aggRow = m.AggCodec.EncodedBytes() / m.AggRows
+				}
+				est += scan * aggRow
 			}
 			plan.Extents = append(plan.Extents, PlanExtent{
-				Relation: "cat",
-				Node:     int64(id),
-				NodeName: plan.NodeName,
-				Rows:     nm.CATRows,
-				ScanRows: scan,
-				EstBytes: est,
-				Access:   access(pz),
-				Zones:    pz,
+				Relation:   "cat",
+				Node:       int64(id),
+				NodeName:   plan.NodeName,
+				Rows:       nm.CATRows,
+				ScanRows:   scan,
+				EstBytes:   est,
+				Compressed: nm.CATCodec != nil,
+				Access:     access(pz),
+				Zones:      pz,
 			})
 		}
 	}

@@ -44,6 +44,9 @@ func TestExplainAnalyzeMatchesCounters(t *testing.T) {
 	if io.BytesRead != delta("query.bytes_read") {
 		t.Errorf("bytes read: plan %d, counter delta %d", io.BytesRead, delta("query.bytes_read"))
 	}
+	if io.BytesDecoded != delta("query.bytes_decoded") {
+		t.Errorf("bytes decoded: plan %d, counter delta %d", io.BytesDecoded, delta("query.bytes_decoded"))
+	}
 	if plan.Actual.Rows != delta("query.rows") {
 		t.Errorf("rows: plan %d, counter delta %d", plan.Actual.Rows, delta("query.rows"))
 	}

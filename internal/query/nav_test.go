@@ -41,7 +41,8 @@ func buildComplexCube(t *testing.T) (string, *hierarchy.Schema) {
 	dir := filepath.Join(t.TempDir(), "cube")
 	if _, err := core.BuildFromTable(ft, core.Options{
 		Dir: dir, Hier: hier,
-		AggSpecs: []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}},
+		AggSpecs:    []relation.AggSpec{{Func: relation.AggSum, Measure: 0}, {Func: relation.AggCount}},
+		Compression: testCompression(),
 	}); err != nil {
 		t.Fatal(err)
 	}

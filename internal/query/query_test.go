@@ -42,7 +42,8 @@ func buildTestCube(t *testing.T, plus bool) (string, *hierarchy.Schema, *relatio
 			{Func: relation.AggSum, Measure: 0},
 			{Func: relation.AggCount},
 		},
-		Plus: plus,
+		Plus:        plus,
+		Compression: testCompression(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -127,7 +127,12 @@ func (e *Engine) Verify(sampleNodes int, seed int64) (*VerifyReport, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			// A scan that cannot even read its extents is corruption
+			// evidence, not a verifier failure — compressed extents turn
+			// flipped bytes into decode errors rather than bad tuples.
+			report.addError("node %s: scan failed: %v", e.enum.Name(id), err)
+			report.NodesChecked++
+			continue
 		}
 		if len(seen) != len(want) {
 			report.addError("node %s: cube holds %d tuples, fact table implies %d",

@@ -1,0 +1,734 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Compressed columnar extents. CURE's whole point (§5) is a small stored
+// cube, yet the compacted extents hold fixed-width 8-byte row-ids and
+// IEEE-754 aggregates over data that is heavily repetitive: CURE+ sorts
+// TT row-ids and format-(a) CAT rows, COUNT aggregates are tiny integers,
+// and CURE_DR dimension columns are low-cardinality codes. A compression
+// pass at Finalize rewrites each extent into blocks of ZoneBlockRows rows
+// stored column-major; every column of every block independently picks
+// the cheapest of a handful of lightweight encodings, recorded in a
+// per-block header so the reader dispatches once per column, not per row.
+// Block byte offsets live in the manifest (ExtentCodec), so zone-map
+// pruning skips the read *and* the decode of pruned blocks.
+//
+// Block layout:
+//
+//	uvarint rowCount
+//	per column: 1 byte encoding tag, uvarint payloadLen
+//	payloads, concatenated in column order
+//
+// Per-column encodings (tag → payload):
+//
+//	encRaw      fixed-width little-endian values (any column kind)
+//	encBitpack  int32: [min int32 LE][width byte][ceil(n·width/8) packed]
+//	            (FOR — frame of reference: values stored min-relative in
+//	            ceil(log2(range+1)) bits)
+//	encRLE      int32: runs of (uvarint len, zigzag-varint value)
+//	            float64: runs of (uvarint len, 8-byte LE bit pattern)
+//	encDelta    int64: zigzag varints — first the value, then deltas
+//	encIntFloat float64 holding exact integers: zigzag varints of int64(v)
+//
+// Selection is brute force per column per block: encode the applicable
+// candidates and keep the shortest. Blocks are small (ZoneBlockRows rows,
+// 256 by default), so the write-side cost is negligible next to the sort
+// and compaction passes.
+
+// Compression mode names accepted by Options.Compression.
+const (
+	// CompressionNone leaves extents in the fixed-width v1 layout.
+	CompressionNone = "none"
+	// CompressionAuto enables the block-columnar codec with per-column
+	// cheapest-encoding selection.
+	CompressionAuto = "auto"
+)
+
+// compressionEnabled maps an Options.Compression string to a decision;
+// the empty string means "none" so existing writers are byte-stable.
+func compressionEnabled(mode string) (bool, error) {
+	switch mode {
+	case "", CompressionNone:
+		return false, nil
+	case CompressionAuto, "block":
+		return true, nil
+	}
+	return false, fmt.Errorf("storage: unknown compression mode %q", mode)
+}
+
+// Column kinds of the extent schemas.
+type colKind uint8
+
+const (
+	colI64 colKind = iota // row-ids (8-byte)
+	colI32                // dimension-level codes (4-byte, CURE_DR)
+	colF64                // aggregates (8-byte IEEE-754)
+)
+
+func (k colKind) width() int {
+	if k == colI32 {
+		return 4
+	}
+	return 8
+}
+
+// Encoding tags recorded in block headers.
+const (
+	encRaw      byte = 0
+	encBitpack  byte = 1
+	encRLE      byte = 2
+	encDelta    byte = 3
+	encIntFloat byte = 4
+)
+
+// encName maps a tag to its histogram name (curectl inspect).
+func encName(tag byte) string {
+	switch tag {
+	case encRaw:
+		return "raw"
+	case encBitpack:
+		return "bitpack"
+	case encRLE:
+		return "rle"
+	case encDelta:
+		return "delta"
+	case encIntFloat:
+		return "intfloat"
+	}
+	return fmt.Sprintf("enc%d", tag)
+}
+
+// ExtentCodec is the manifest record of one compressed extent: the block
+// granularity, the pre-compression footprint, the encoding histogram
+// (column-blocks per tag name), and the block byte offsets relative to
+// the extent's file offset (len = NumBlocks+1, so block b occupies
+// [Offs[b], Offs[b+1])). A nil *ExtentCodec means the extent is stored
+// in the fixed-width v1 layout.
+type ExtentCodec struct {
+	BlockRows int64            `json:"block_rows"`
+	RawBytes  int64            `json:"raw_bytes"`
+	Offs      []int64          `json:"offs"`
+	Encodings map[string]int64 `json:"encodings,omitempty"`
+}
+
+// NumBlocks returns the number of blocks of the extent.
+func (c *ExtentCodec) NumBlocks() int {
+	if c == nil || len(c.Offs) == 0 {
+		return 0
+	}
+	return len(c.Offs) - 1
+}
+
+// EncodedBytes returns the extent's compressed footprint.
+func (c *ExtentCodec) EncodedBytes() int64 {
+	if c == nil || len(c.Offs) == 0 {
+		return 0
+	}
+	return c.Offs[len(c.Offs)-1]
+}
+
+// BytesForRanges returns the encoded bytes of the blocks overlapping the
+// given row ranges (nil ranges = the whole extent) — the read cost
+// EXPLAIN estimates for a compressed extent.
+func (c *ExtentCodec) BytesForRanges(ranges []RowRange) int64 {
+	if c == nil {
+		return 0
+	}
+	if ranges == nil {
+		return c.EncodedBytes()
+	}
+	var n int64
+	nb := c.NumBlocks()
+	for _, rg := range ranges {
+		if rg.Lo >= rg.Hi {
+			continue
+		}
+		b0 := int(rg.Lo / c.BlockRows)
+		b1 := int((rg.Hi - 1) / c.BlockRows)
+		if b0 < 0 {
+			b0 = 0
+		}
+		if b1 >= nb {
+			b1 = nb - 1
+		}
+		for b := b0; b <= b1; b++ {
+			n += c.Offs[b+1] - c.Offs[b]
+		}
+	}
+	return n
+}
+
+// DecodedBlock is one block decoded column-major into typed buffers. The
+// slices are indexed by column position; only the entry matching the
+// column's kind is non-nil. Blocks handed out by a BlockCache are shared
+// between queries and must be treated as immutable.
+type DecodedBlock struct {
+	Rows int
+	I64  [][]int64
+	I32  [][]int32
+	F64  [][]float64
+}
+
+// reset prepares the block for reuse with the given schema and row count,
+// recycling column capacity (zero allocations once warmed up).
+func (db *DecodedBlock) reset(kinds []colKind, rows int) {
+	db.Rows = rows
+	grow := func(n int) {
+		if cap(db.I64) < n {
+			db.I64 = make([][]int64, n)
+			db.I32 = make([][]int32, n)
+			db.F64 = make([][]float64, n)
+		}
+		db.I64, db.I32, db.F64 = db.I64[:n], db.I32[:n], db.F64[:n]
+	}
+	grow(len(kinds))
+	for i, k := range kinds {
+		switch k {
+		case colI64:
+			if cap(db.I64[i]) < rows {
+				db.I64[i] = make([]int64, rows)
+			}
+			db.I64[i] = db.I64[i][:rows]
+		case colI32:
+			if cap(db.I32[i]) < rows {
+				db.I32[i] = make([]int32, rows)
+			}
+			db.I32[i] = db.I32[i][:rows]
+		case colF64:
+			if cap(db.F64[i]) < rows {
+				db.F64[i] = make([]float64, rows)
+			}
+			db.F64[i] = db.F64[i][:rows]
+		}
+	}
+}
+
+// --- varint / zigzag primitives -------------------------------------------
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(dst []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], u)
+	return append(dst, tmp[:n]...)
+}
+
+// --- int32 codecs ---------------------------------------------------------
+
+// encodeBitpack32 appends the FOR bit-packed payload of vals. An empty
+// column encodes to an empty payload.
+func encodeBitpack32(dst []byte, vals []int32) []byte {
+	if len(vals) == 0 {
+		return dst
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	width := uint(bits.Len64(uint64(int64(hi) - int64(lo))))
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(lo))
+	dst = append(dst, b4[:]...)
+	dst = append(dst, byte(width))
+	var acc uint64
+	var nb uint
+	for _, v := range vals {
+		acc |= (uint64(int64(v)-int64(lo)) & (1<<width - 1)) << nb
+		nb += width
+		for nb >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			nb -= 8
+		}
+	}
+	if nb > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+func decodeBitpack32(src []byte, dst []int32) error {
+	if len(dst) == 0 && len(src) == 0 {
+		return nil
+	}
+	if len(src) < 5 {
+		return fmt.Errorf("storage: bitpack payload too short (%d bytes)", len(src))
+	}
+	base := int64(int32(binary.LittleEndian.Uint32(src)))
+	width := uint(src[4])
+	if width > 32 {
+		return fmt.Errorf("storage: bitpack width %d", width)
+	}
+	src = src[5:]
+	if width == 0 {
+		for i := range dst {
+			dst[i] = int32(base)
+		}
+		return nil
+	}
+	if need := (uint64(len(dst))*uint64(width) + 7) / 8; uint64(len(src)) < need {
+		return fmt.Errorf("storage: bitpack payload truncated (%d < %d)", len(src), need)
+	}
+	mask := uint64(1)<<width - 1
+	var acc uint64
+	var nb uint
+	idx := 0
+	for i := range dst {
+		for nb < width {
+			acc |= uint64(src[idx]) << nb
+			idx++
+			nb += 8
+		}
+		dst[i] = int32(base + int64(acc&mask))
+		acc >>= width
+		nb -= width
+	}
+	return nil
+}
+
+// encodeRLE32 appends runs of (uvarint len, zigzag value).
+func encodeRLE32(dst []byte, vals []int32) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		dst = appendUvarint(dst, zigzag(int64(vals[i])))
+		i = j
+	}
+	return dst
+}
+
+func decodeRLE32(src []byte, dst []int32) error {
+	i := 0
+	for i < len(dst) {
+		run, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("storage: rle run length at row %d", i)
+		}
+		src = src[n:]
+		u, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("storage: rle value at row %d", i)
+		}
+		src = src[n:]
+		v := int32(unzigzag(u))
+		if run > uint64(len(dst)-i) {
+			return fmt.Errorf("storage: rle run overflows block (%d > %d)", run, len(dst)-i)
+		}
+		for k := uint64(0); k < run; k++ {
+			dst[i] = v
+			i++
+		}
+	}
+	return nil
+}
+
+func encodeRaw32(dst []byte, vals []int32) []byte {
+	var b4 [4]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(b4[:], uint32(v))
+		dst = append(dst, b4[:]...)
+	}
+	return dst
+}
+
+func decodeRaw32(src []byte, dst []int32) error {
+	if len(src) < 4*len(dst) {
+		return fmt.Errorf("storage: raw32 payload truncated")
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return nil
+}
+
+// --- int64 codecs ---------------------------------------------------------
+
+// encodeDelta64 appends zigzag varints: the first value, then deltas.
+// Signed wraparound in the delta is fine — decoding adds it back with the
+// same two's-complement wraparound.
+func encodeDelta64(dst []byte, vals []int64) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+func decodeDelta64(src []byte, dst []int64) error {
+	prev := int64(0)
+	for i := range dst {
+		u, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("storage: delta varint at row %d", i)
+		}
+		src = src[n:]
+		prev += unzigzag(u)
+		dst[i] = prev
+	}
+	return nil
+}
+
+func encodeRaw64(dst []byte, vals []int64) []byte {
+	var b8 [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b8[:], uint64(v))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+func decodeRaw64(src []byte, dst []int64) error {
+	if len(src) < 8*len(dst) {
+		return fmt.Errorf("storage: raw64 payload truncated")
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// --- float64 codecs -------------------------------------------------------
+
+// intFloatOK reports whether v survives an exact round-trip through
+// int64: integral, inside the int64 range, not NaN/Inf, and not -0 (whose
+// bit pattern the int path would lose).
+func intFloatOK(v float64) bool {
+	if v != math.Trunc(v) || v < -(1<<62) || v > 1<<62 {
+		return false
+	}
+	if v == 0 && math.Signbit(v) {
+		return false
+	}
+	return float64(int64(v)) == v
+}
+
+func encodeIntFloat(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = appendUvarint(dst, zigzag(int64(v)))
+	}
+	return dst
+}
+
+func decodeIntFloat(src []byte, dst []float64) error {
+	for i := range dst {
+		u, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("storage: intfloat varint at row %d", i)
+		}
+		src = src[n:]
+		dst[i] = float64(unzigzag(u))
+	}
+	return nil
+}
+
+// encodeRLEF64 appends runs of (uvarint len, 8-byte bit pattern) —
+// bit-pattern comparison, so NaN payloads and signed zeros round-trip.
+func encodeRLEF64(dst []byte, vals []float64) []byte {
+	var b8 [8]byte
+	for i := 0; i < len(vals); {
+		bitsI := math.Float64bits(vals[i])
+		j := i + 1
+		for j < len(vals) && math.Float64bits(vals[j]) == bitsI {
+			j++
+		}
+		dst = appendUvarint(dst, uint64(j-i))
+		binary.LittleEndian.PutUint64(b8[:], bitsI)
+		dst = append(dst, b8[:]...)
+		i = j
+	}
+	return dst
+}
+
+func decodeRLEF64(src []byte, dst []float64) error {
+	i := 0
+	for i < len(dst) {
+		run, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("storage: f64 rle run length at row %d", i)
+		}
+		src = src[n:]
+		if len(src) < 8 {
+			return fmt.Errorf("storage: f64 rle value truncated at row %d", i)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(src))
+		src = src[8:]
+		if run > uint64(len(dst)-i) {
+			return fmt.Errorf("storage: f64 rle run overflows block (%d > %d)", run, len(dst)-i)
+		}
+		for k := uint64(0); k < run; k++ {
+			dst[i] = v
+			i++
+		}
+	}
+	return nil
+}
+
+func encodeRawF64(dst []byte, vals []float64) []byte {
+	var b8 [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+func decodeRawF64(src []byte, dst []float64) error {
+	if len(src) < 8*len(dst) {
+		return fmt.Errorf("storage: rawf64 payload truncated")
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// --- block encode / decode ------------------------------------------------
+
+// blockEncoder turns row-major fixed-width rows into encoded blocks,
+// reusing its gather and candidate buffers across blocks.
+type blockEncoder struct {
+	kinds []colKind
+	offs  []int // byte offset of each column inside a row
+	width int
+
+	i64 []int64
+	i32 []int32
+	f64 []float64
+	// cand/alt are the candidate payload buffers the selector compares.
+	cand, alt []byte
+	// tags/payloads of the current block, one per column.
+	tags     []byte
+	payloads [][]byte
+	bufs     [][]byte // retained payload buffers, one per column
+}
+
+func newBlockEncoder(kinds []colKind) *blockEncoder {
+	be := &blockEncoder{
+		kinds:    kinds,
+		offs:     make([]int, len(kinds)),
+		tags:     make([]byte, len(kinds)),
+		payloads: make([][]byte, len(kinds)),
+		bufs:     make([][]byte, len(kinds)),
+	}
+	for i, k := range kinds {
+		be.offs[i] = be.width
+		be.width += k.width()
+	}
+	return be
+}
+
+// pick chooses the shorter of the current best (tag, payload in bufs[c])
+// and the candidate in be.cand, leaving the winner in bufs[c].
+func (be *blockEncoder) pick(c int, tag byte) {
+	if be.payloads[c] == nil || len(be.cand) < len(be.payloads[c]) {
+		be.tags[c] = tag
+		be.bufs[c] = append(be.bufs[c][:0], be.cand...)
+		be.payloads[c] = be.bufs[c]
+	}
+}
+
+// encodeBlock appends the encoded form of rows[0:n] (row-major, be.width
+// bytes each) to dst and returns it.
+func (be *blockEncoder) encodeBlock(rows []byte, n int, dst []byte) []byte {
+	for c, k := range be.kinds {
+		off := be.offs[c]
+		be.payloads[c] = nil
+		switch k {
+		case colI64:
+			if cap(be.i64) < n {
+				be.i64 = make([]int64, n)
+			}
+			vals := be.i64[:n]
+			for i := range vals {
+				vals[i] = int64(binary.LittleEndian.Uint64(rows[i*be.width+off:]))
+			}
+			be.cand = encodeRaw64(be.cand[:0], vals)
+			be.pick(c, encRaw)
+			be.cand = encodeDelta64(be.cand[:0], vals)
+			be.pick(c, encDelta)
+		case colI32:
+			if cap(be.i32) < n {
+				be.i32 = make([]int32, n)
+			}
+			vals := be.i32[:n]
+			for i := range vals {
+				vals[i] = int32(binary.LittleEndian.Uint32(rows[i*be.width+off:]))
+			}
+			be.cand = encodeRaw32(be.cand[:0], vals)
+			be.pick(c, encRaw)
+			be.cand = encodeBitpack32(be.cand[:0], vals)
+			be.pick(c, encBitpack)
+			be.cand = encodeRLE32(be.cand[:0], vals)
+			be.pick(c, encRLE)
+		case colF64:
+			if cap(be.f64) < n {
+				be.f64 = make([]float64, n)
+			}
+			vals := be.f64[:n]
+			intOK := true
+			for i := range vals {
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rows[i*be.width+off:]))
+				intOK = intOK && intFloatOK(vals[i])
+			}
+			be.cand = encodeRawF64(be.cand[:0], vals)
+			be.pick(c, encRaw)
+			be.cand = encodeRLEF64(be.cand[:0], vals)
+			be.pick(c, encRLE)
+			if intOK {
+				be.cand = encodeIntFloat(be.cand[:0], vals)
+				be.pick(c, encIntFloat)
+			}
+		}
+	}
+	dst = appendUvarint(dst, uint64(n))
+	for c := range be.kinds {
+		dst = append(dst, be.tags[c])
+		dst = appendUvarint(dst, uint64(len(be.payloads[c])))
+	}
+	for c := range be.kinds {
+		dst = append(dst, be.payloads[c]...)
+	}
+	return dst
+}
+
+// decodeBlock decodes one encoded block into db (reusing its buffers) and
+// returns the number of bytes consumed from src. wantRows is the row
+// count the manifest says the block holds; a mismatch is corruption (and
+// the check keeps hostile headers from over-allocating).
+func decodeBlock(src []byte, kinds []colKind, wantRows int, db *DecodedBlock) (int, error) {
+	total := len(src)
+	rows64, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: block row count")
+	}
+	src = src[n:]
+	if rows64 != uint64(wantRows) {
+		return 0, fmt.Errorf("storage: block claims %d rows, manifest says %d", rows64, wantRows)
+	}
+	rows := int(rows64)
+	db.reset(kinds, rows)
+	type colHdr struct {
+		tag byte
+		ln  int
+	}
+	hdrs := make([]colHdr, len(kinds))
+	for c := range kinds {
+		if len(src) < 1 {
+			return 0, fmt.Errorf("storage: block header truncated at column %d", c)
+		}
+		tag := src[0]
+		src = src[1:]
+		ln, n := binary.Uvarint(src)
+		if n <= 0 || ln > uint64(total) {
+			return 0, fmt.Errorf("storage: column %d payload length", c)
+		}
+		src = src[n:]
+		hdrs[c] = colHdr{tag, int(ln)}
+	}
+	for c, k := range kinds {
+		h := hdrs[c]
+		if h.ln > len(src) {
+			return 0, fmt.Errorf("storage: column %d payload truncated (%d > %d)", c, h.ln, len(src))
+		}
+		payload := src[:h.ln]
+		src = src[h.ln:]
+		var err error
+		switch k {
+		case colI64:
+			switch h.tag {
+			case encRaw:
+				err = decodeRaw64(payload, db.I64[c])
+			case encDelta:
+				err = decodeDelta64(payload, db.I64[c])
+			default:
+				err = fmt.Errorf("storage: tag %d on int64 column", h.tag)
+			}
+		case colI32:
+			switch h.tag {
+			case encRaw:
+				err = decodeRaw32(payload, db.I32[c])
+			case encBitpack:
+				err = decodeBitpack32(payload, db.I32[c])
+			case encRLE:
+				err = decodeRLE32(payload, db.I32[c])
+			default:
+				err = fmt.Errorf("storage: tag %d on int32 column", h.tag)
+			}
+		case colF64:
+			switch h.tag {
+			case encRaw:
+				err = decodeRawF64(payload, db.F64[c])
+			case encRLE:
+				err = decodeRLEF64(payload, db.F64[c])
+			case encIntFloat:
+				err = decodeIntFloat(payload, db.F64[c])
+			default:
+				err = fmt.Errorf("storage: tag %d on float64 column", h.tag)
+			}
+		}
+		if err != nil {
+			return 0, fmt.Errorf("storage: decoding column %d: %w", c, err)
+		}
+	}
+	return total - len(src), nil
+}
+
+// --- extent schemas -------------------------------------------------------
+
+// ntKinds returns the column schema of an NT extent: <rowid, aggrs…> for
+// plain CURE, <dims…, aggrs…> for CURE_DR (arity int32 columns).
+func (m *Manifest) ntKinds(arity int) []colKind {
+	var kinds []colKind
+	if m.DimsInline {
+		for i := 0; i < arity; i++ {
+			kinds = append(kinds, colI32)
+		}
+	} else {
+		kinds = append(kinds, colI64)
+	}
+	for i := 0; i < m.NumAggrs(); i++ {
+		kinds = append(kinds, colF64)
+	}
+	return kinds
+}
+
+// ttKinds is the TT id-extent schema: one row-id column.
+func ttKinds() []colKind { return []colKind{colI64} }
+
+// catKinds returns the CAT extent schema: <A-rowid> under format (a),
+// <R-rowid, A-rowid> under format (b).
+func (m *Manifest) catKinds() []colKind {
+	if m.catRowWidth() == 8 {
+		return []colKind{colI64}
+	}
+	return []colKind{colI64, colI64}
+}
+
+// aggKinds returns the AGGREGATES schema: <R-rowid, aggrs…> under format
+// (a), <aggrs…> under format (b).
+func (m *Manifest) aggKinds() []colKind {
+	var kinds []colKind
+	if m.aggRowWidth() == 8+8*m.NumAggrs() {
+		kinds = append(kinds, colI64)
+	}
+	for i := 0; i < m.NumAggrs(); i++ {
+		kinds = append(kinds, colF64)
+	}
+	return kinds
+}

@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cure/internal/relation"
+	"cure/internal/signature"
+)
+
+// encodeOneBlock encodes row-major rows through the production encoder
+// and decodes them back, returning the decoded block.
+func encodeOneBlock(t *testing.T, kinds []colKind, rows []byte, n int) *DecodedBlock {
+	t.Helper()
+	be := newBlockEncoder(kinds)
+	enc := be.encodeBlock(rows, n, nil)
+	var db DecodedBlock
+	consumed, err := decodeBlock(enc, kinds, n, &db)
+	if err != nil {
+		t.Fatalf("decodeBlock: %v", err)
+	}
+	if consumed != len(enc) {
+		t.Fatalf("decodeBlock consumed %d of %d bytes", consumed, len(enc))
+	}
+	return &db
+}
+
+func TestCodecColumnShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]func(i int) int64{
+		"constant":  func(i int) int64 { return 42 },
+		"sorted":    func(i int) int64 { return int64(i) * 3 },
+		"runs":      func(i int) int64 { return int64(i / 17) },
+		"random":    func(i int) int64 { return rng.Int63() - rng.Int63() },
+		"lowcard":   func(i int) int64 { return int64(rng.Intn(5)) },
+		"extremes":  func(i int) int64 { return []int64{math.MinInt64, math.MaxInt64, 0, -1}[i%4] },
+		"negatives": func(i int) int64 { return -int64(i) * 1000 },
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 2, 255, 256, 1000} {
+			t.Run(fmt.Sprintf("%s/n=%d", name, n), func(t *testing.T) {
+				// One block of <i64, i32, f64> columns derived from gen.
+				kinds := []colKind{colI64, colI32, colF64}
+				width := 8 + 4 + 8
+				rows := make([]byte, n*width)
+				wantI64 := make([]int64, n)
+				wantI32 := make([]int32, n)
+				wantF64 := make([]float64, n)
+				for i := 0; i < n; i++ {
+					v := gen(i)
+					wantI64[i] = v
+					wantI32[i] = int32(v)
+					wantF64[i] = float64(v % 100000)
+					rec := rows[i*width:]
+					putInt64(rec, v)
+					putDims(rec[8:], []int32{int32(v)})
+					putAggrs(rec[12:], []float64{wantF64[i]})
+				}
+				db := encodeOneBlock(t, kinds, rows, n)
+				if !reflect.DeepEqual(db.I64[0], wantI64) {
+					t.Error("int64 column mismatch")
+				}
+				if !reflect.DeepEqual(db.I32[1], wantI32) {
+					t.Error("int32 column mismatch")
+				}
+				if !reflect.DeepEqual(db.F64[2], wantF64) {
+					t.Error("float64 column mismatch")
+				}
+			})
+		}
+	}
+}
+
+func TestCodecFloatBitPatterns(t *testing.T) {
+	// Values whose bit patterns must survive exactly: -0, NaN (quiet and
+	// payload-carrying), ±Inf, denormals, and huge integral floats.
+	vals := []float64{
+		0, math.Copysign(0, -1), math.NaN(),
+		math.Float64frombits(0x7ff8000000000abc), // NaN with payload
+		math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		1.5, -2.75, 1e300, float64(1 << 60), -float64(1 << 60),
+		123456789, 3, 3, 3, 3, // a run
+	}
+	n := len(vals)
+	kinds := []colKind{colF64}
+	rows := make([]byte, n*8)
+	for i, v := range vals {
+		putAggrs(rows[i*8:], []float64{v})
+	}
+	db := encodeOneBlock(t, kinds, rows, n)
+	for i, want := range vals {
+		if math.Float64bits(db.F64[0][i]) != math.Float64bits(want) {
+			t.Errorf("row %d: bits %x, want %x (value %v)", i,
+				math.Float64bits(db.F64[0][i]), math.Float64bits(want), want)
+		}
+	}
+}
+
+func TestCodecEmptyBlock(t *testing.T) {
+	kinds := []colKind{colI64, colF64}
+	be := newBlockEncoder(kinds)
+	enc := be.encodeBlock(nil, 0, nil)
+	var db DecodedBlock
+	if _, err := decodeBlock(enc, kinds, 0, &db); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+	if db.Rows != 0 {
+		t.Errorf("rows = %d", db.Rows)
+	}
+}
+
+func TestCodecRowCountMismatchRejected(t *testing.T) {
+	kinds := []colKind{colI64}
+	be := newBlockEncoder(kinds)
+	rows := make([]byte, 5*8)
+	enc := be.encodeBlock(rows, 5, nil)
+	var db DecodedBlock
+	if _, err := decodeBlock(enc, kinds, 6, &db); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}
+
+func TestCompressionModeValidation(t *testing.T) {
+	for _, mode := range []string{"", "none", "auto", "block"} {
+		if _, err := compressionEnabled(mode); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+	if _, err := compressionEnabled("zstd"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := NewWriter(Options{
+		Dir: t.TempDir(), Hier: testHier(t),
+		AggSpecs:    []relation.AggSpec{{Func: relation.AggCount}},
+		Compression: "zstd",
+	}); err == nil {
+		t.Error("writer with unknown compression mode accepted")
+	}
+}
+
+// writeWorkload writes one deterministic mixed workload (multi-block NT,
+// TT, CAT extents plus AGGREGATES) into w and finalizes it.
+func writeWorkload(t *testing.T, w *Writer, plus bool, formatA bool) *Manifest {
+	t.Helper()
+	enum := w.Enum()
+	nodeA0B := enum.Encode([]int{0, 0})
+	nodeA1 := enum.Encode([]int{1, 1})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 700; i++ {
+		if err := w.WriteNT(nodeA0B, int64(rng.Intn(5000)), []float64{float64(rng.Intn(50)), float64(1 + rng.Intn(9))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 900; i++ {
+		if err := w.WriteTT(nodeA1, int64(rng.Intn(5000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	format := signature.FormatB
+	for i := 0; i < 500; i++ {
+		rrowid := int64(-1)
+		if formatA {
+			rrowid = int64(rng.Intn(5000))
+		}
+		a, err := w.AppendAggregate(rrowid, []float64{float64(rng.Intn(100)) + 0.5, float64(2 + rng.Intn(7))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		catSrc := int64(-1)
+		if !formatA {
+			catSrc = int64(rng.Intn(5000))
+		}
+		if err := w.WriteCAT(nodeA0B, catSrc, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if formatA {
+		format = signature.FormatA
+	}
+	m, err := w.Finalize(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// collectExtents renders every readable tuple of the cube as strings, the
+// equivalence unit compressed and uncompressed cubes are compared by.
+func collectExtents(t *testing.T, dir string) []string {
+	t.Helper()
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out []string
+	m := r.Manifest()
+	for k := range m.Nodes {
+		id, err := parseNodeKey(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.NTRows(id, func(nt NTRow) error {
+			out = append(out, fmt.Sprintf("nt %s %d %v %v", k, nt.RRowid, nt.Dims, nt.Aggrs))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := r.TTRowIDs(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range ids {
+			out = append(out, fmt.Sprintf("tt %s %d", k, v))
+		}
+		if err := r.CATRows(id, func(cat CATRow) error {
+			out = append(out, fmt.Sprintf("cat %s %d %d", k, cat.RRowid, cat.ARowid))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aggs := make([]float64, m.NumAggrs())
+	for a := int64(0); a < m.AggRows; a++ {
+		rrowid, err := r.ReadAggregate(a, aggs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("agg %d %d %v", a, rrowid, aggs))
+	}
+	raw, err := r.AggregatesRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int64(0); a < m.AggRows; a++ {
+		rrowid := r.DecodeAggregate(raw, a, aggs)
+		out = append(out, fmt.Sprintf("aggraw %d %d %v", a, rrowid, aggs))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCompressedCubeEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		plus    bool
+		formatA bool
+	}{
+		{"plain-formatB", false, false},
+		{"plus-formatB", true, false},
+		{"plus-formatA", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dirNone, dirAuto := t.TempDir(), t.TempDir()
+			wNone := newTestWriter(t, Options{Dir: dirNone, Plus: tc.plus, FactRows: 5000, ZoneBlockRows: 64})
+			mNone := writeWorkload(t, wNone, tc.plus, tc.formatA)
+			wAuto := newTestWriter(t, Options{Dir: dirAuto, Plus: tc.plus, FactRows: 5000, ZoneBlockRows: 64, Compression: "auto"})
+			mAuto := writeWorkload(t, wAuto, tc.plus, tc.formatA)
+
+			if mNone.Version != 1 || mNone.Compressed() {
+				t.Errorf("uncompressed manifest: version %d, compression %q", mNone.Version, mNone.Compression)
+			}
+			if mAuto.Version != 2 || !mAuto.Compressed() {
+				t.Errorf("compressed manifest: version %d, compression %q", mAuto.Version, mAuto.Compression)
+			}
+			if mAuto.AggCodec == nil {
+				t.Error("compressed cube without AggCodec")
+			}
+			if got, want := collectExtents(t, dirAuto), collectExtents(t, dirNone); !reflect.DeepEqual(got, want) {
+				t.Fatalf("compressed cube decodes differently: %d vs %d tuples", len(got), len(want))
+			}
+			// The workload is repetitive on purpose: the codec must win.
+			if mAuto.Sizes.Total() >= mNone.Sizes.Total() {
+				t.Errorf("compressed cube not smaller: %d >= %d", mAuto.Sizes.Total(), mNone.Sizes.Total())
+			}
+			if bad, err := func() ([]string, error) {
+				r, err := OpenReader(dirAuto)
+				if err != nil {
+					return nil, err
+				}
+				defer r.Close()
+				return r.VerifyChecksums()
+			}(); err != nil || len(bad) != 0 {
+				t.Errorf("checksums after compression: bad=%v err=%v", bad, err)
+			}
+		})
+	}
+}
+
+func TestCompressedExtentCodecMetadata(t *testing.T) {
+	dir := t.TempDir()
+	w := newTestWriter(t, Options{Dir: dir, FactRows: 5000, ZoneBlockRows: 64, Compression: "auto"})
+	m := writeWorkload(t, w, false, false)
+	for k, nm := range m.Nodes {
+		if nm.NTRows > 0 {
+			c := nm.NTCodec
+			if c == nil {
+				t.Fatalf("node %s: NT extent without codec", k)
+			}
+			if got, want := c.NumBlocks(), int((nm.NTRows+63)/64); got != want {
+				t.Errorf("node %s: %d blocks, want %d", k, got, want)
+			}
+			if c.RawBytes != nm.NTRows*int64(m.ntRowWidth(0)) {
+				t.Errorf("node %s: RawBytes = %d", k, c.RawBytes)
+			}
+			if c.EncodedBytes() <= 0 || len(c.Encodings) == 0 {
+				t.Errorf("node %s: empty codec record %+v", k, c)
+			}
+		}
+	}
+}

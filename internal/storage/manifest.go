@@ -60,6 +60,12 @@ type NodeMeta struct {
 	NTZones  *ZoneIndex `json:"nt_zones,omitempty"`
 	TTZones  *ZoneIndex `json:"tt_zones,omitempty"`
 	CATZones *ZoneIndex `json:"cat_zones,omitempty"`
+	// Block-codec records of compressed extents (nil = fixed-width v1
+	// layout; version-2 manifests only). TTCodec applies only to TTIDs
+	// extents — bitmaps are already compressed.
+	NTCodec  *ExtentCodec `json:"nt_codec,omitempty"`
+	TTCodec  *ExtentCodec `json:"tt_codec,omitempty"`
+	CATCodec *ExtentCodec `json:"cat_codec,omitempty"`
 }
 
 // Sizes breaks down the on-disk footprint of a cube, the quantity the
@@ -118,7 +124,17 @@ type Manifest struct {
 	// Iceberg is the min-count threshold the cube was built with (1 for
 	// a complete cube).
 	Iceberg int64 `json:"iceberg"`
+	// Compression names the extent codec ("block" for the columnar block
+	// codec, empty for fixed-width v1 extents). Version-1 manifests never
+	// carry it; version-2 readers treat its absence as uncompressed.
+	Compression string `json:"compression,omitempty"`
+	// AggCodec is the block-codec record of the AGGREGATES relation (one
+	// extent covering all AggRows rows), nil when uncompressed.
+	AggCodec *ExtentCodec `json:"agg_codec,omitempty"`
 }
+
+// Compressed reports whether any extent of the cube uses the block codec.
+func (m *Manifest) Compressed() bool { return m.Compression != "" }
 
 // NodeMeta returns the extent record for a node.
 func (m *Manifest) NodeMeta(id lattice.NodeID) (NodeMeta, bool) {
@@ -140,12 +156,16 @@ func (m *Manifest) CATRowWidth() int { return m.catRowWidth() }
 func (m *Manifest) AggRowWidth() int { return m.aggRowWidth() }
 
 // TTBytes returns the bytes one full read of the node's TT extent costs:
-// the bitmap length under CURE+, 8 bytes per row-id otherwise. The TT
-// extent is always fetched whole (zone pruning narrows the iteration,
-// not the read), so this is also the read a query pays.
+// the bitmap length under CURE+, the encoded footprint when the extent is
+// block-compressed, 8 bytes per row-id otherwise. The TT extent is always
+// fetched whole (zone pruning narrows the iteration, not the read), so
+// this is also the read a query pays.
 func (nm NodeMeta) TTBytes() int64 {
 	if nm.TTKind == TTBitmap {
 		return nm.TTBmLen
+	}
+	if nm.TTCodec != nil {
+		return nm.TTCodec.EncodedBytes()
 	}
 	return nm.TTRows * ttLogRowWidth
 }
@@ -195,13 +215,18 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(data, m); err != nil {
 		return nil, fmt.Errorf("storage: parsing manifest in %s: %w", dir, err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("storage: manifest version %d, want %d", m.Version, manifestVersion)
+	if m.Version < 1 || m.Version > manifestVersion {
+		return nil, fmt.Errorf("storage: manifest version %d, want 1..%d", m.Version, manifestVersion)
 	}
 	return m, nil
 }
 
-const manifestVersion = 1
+// manifestVersion is the newest manifest format this build writes and
+// reads. Version 1 is the fixed-width extent layout; version 2 adds the
+// optional block-codec records (Compression, *Codec fields). Uncompressed
+// cubes are still written as version 1, byte-identical to older builds,
+// so v1 directories and v1 readers stay interoperable.
+const manifestVersion = 2
 
 // resolveFactPath resolves the manifest's fact-file reference against the
 // cube directory.

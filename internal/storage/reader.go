@@ -28,7 +28,37 @@ type Reader struct {
 	// read volume.
 	cReadBytes *obsv.Counter
 	cReads     *obsv.Counter
+	// Codec decode accounting (storage.codec.bytes_decoded /
+	// storage.codec.blocks_read): raw-equivalent bytes materialized from
+	// compressed blocks, and the block-decode count.
+	cDecBytes  *obsv.Counter
+	cDecBlocks *obsv.Counter
+	// blocks is the optional decoded-block cache (set once before
+	// concurrent use via SetBlockCache); nil reads decode into per-call
+	// scratch instead.
+	blocks BlockCache
 }
+
+// BlockCache caches decoded extent blocks across queries. Implementations
+// must be safe for concurrent use; blocks returned by GetBlock are shared
+// and must be treated as immutable. decodedBytes is the raw-equivalent
+// footprint of the block, the unit cache budgets account in.
+type BlockCache interface {
+	GetBlock(rel uint8, node int64, block int) *DecodedBlock
+	PutBlock(rel uint8, node int64, block int, db *DecodedBlock, decodedBytes int64)
+}
+
+// Block-cache relation tags.
+const (
+	BlockRelNT uint8 = iota
+	BlockRelTT
+	BlockRelCAT
+	BlockRelAgg
+)
+
+// SetBlockCache attaches a decoded-block cache to the reader. Must be
+// called before the reader is shared across goroutines.
+func (r *Reader) SetBlockCache(c BlockCache) { r.blocks = c }
 
 // SetMetrics attaches the registry's storage read counters
 // (storage.read.bytes / storage.read.calls) to the reader; nil reg
@@ -36,10 +66,13 @@ type Reader struct {
 func (r *Reader) SetMetrics(reg *obsv.Registry) {
 	if reg == nil {
 		r.cReadBytes, r.cReads = nil, nil
+		r.cDecBytes, r.cDecBlocks = nil, nil
 		return
 	}
 	r.cReadBytes = reg.Counter("storage.read.bytes")
 	r.cReads = reg.Counter("storage.read.calls")
+	r.cDecBytes = reg.Counter("storage.codec.bytes_decoded")
+	r.cDecBlocks = reg.Counter("storage.codec.blocks_read")
 }
 
 // account folds one attributed read of n bytes into the per-query tally
@@ -125,6 +158,10 @@ type IOStats struct {
 	BytesRead int64 `json:"bytes_read"`
 	// Reads is the number of ReadAt calls issued.
 	Reads int64 `json:"reads"`
+	// BytesDecoded is the raw-equivalent bytes materialized from
+	// compressed extent blocks (0 when reading v1 fixed-width extents or
+	// when every block was a decoded-cache hit).
+	BytesDecoded int64 `json:"bytes_decoded,omitempty"`
 }
 
 // Add folds one read of n bytes into the tally (no-op on nil).
@@ -132,6 +169,14 @@ func (s *IOStats) Add(n int64) {
 	if s != nil {
 		s.BytesRead += n
 		s.Reads++
+	}
+}
+
+// addDecoded folds one block decode of n raw-equivalent bytes into the
+// tally (no-op on nil).
+func (s *IOStats) addDecoded(n int64) {
+	if s != nil {
+		s.BytesDecoded += n
 	}
 }
 
@@ -165,6 +210,9 @@ func (r *Reader) TTRowIDsIO(id lattice.NodeID, dst []int64, io *IOStats) ([]int6
 			return true
 		})
 		return dst, nil
+	}
+	if nm.TTCodec != nil {
+		return r.ttRowIDsBlocks(id, nm, dst, io)
 	}
 	buf := make([]byte, nm.TTRows*ttLogRowWidth)
 	if _, err := r.ttF.ReadAt(buf, nm.TTOff); err != nil {
@@ -210,6 +258,9 @@ func (r *Reader) NTRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats,
 		ranges = []RowRange{{0, nm.NTRows}}
 	}
 	arity := r.nodeArity(id)
+	if nm.NTCodec != nil {
+		return r.ntRowsBlocks(id, nm, arity, ranges, io, fn)
+	}
 	width := int64(r.m.ntRowWidth(arity))
 	row := NTRow{Aggrs: make([]float64, r.m.NumAggrs())}
 	if r.m.DimsInline {
@@ -271,6 +322,9 @@ func (r *Reader) CATRowsRanges(id lattice.NodeID, ranges []RowRange, io *IOStats
 	if ranges == nil {
 		ranges = []RowRange{{0, nm.CATRows}}
 	}
+	if nm.CATCodec != nil {
+		return r.catRowsBlocks(id, nm, ranges, io, fn)
+	}
 	width := int64(r.m.catRowWidth())
 	var buf []byte
 	for _, rg := range ranges {
@@ -315,6 +369,9 @@ func (r *Reader) ReadAggregateIO(arowid int64, aggrs []float64, io *IOStats) (in
 	if arowid < 0 || arowid >= r.m.AggRows {
 		return 0, fmt.Errorf("storage: A-rowid %d out of range [0,%d)", arowid, r.m.AggRows)
 	}
+	if r.m.AggCodec != nil {
+		return r.readAggregateBlock(arowid, aggrs, io)
+	}
 	width := r.m.aggRowWidth()
 	buf := make([]byte, width)
 	if _, err := r.aggF.ReadAt(buf, arowid*int64(width)); err != nil {
@@ -339,6 +396,14 @@ func (r *Reader) AggregatesRaw() ([]byte, error) {
 	width := int64(r.m.aggRowWidth())
 	buf := make([]byte, r.m.AggRows*width)
 	if r.m.AggRows == 0 {
+		return buf, nil
+	}
+	if r.m.AggCodec != nil {
+		// Decode the whole relation back to the fixed-width layout so
+		// DecodeAggregate (and the pin that holds it) work unchanged.
+		if err := r.aggregatesRawBlocks(buf); err != nil {
+			return nil, err
+		}
 		return buf, nil
 	}
 	if _, err := r.aggF.ReadAt(buf, 0); err != nil {

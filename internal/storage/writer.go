@@ -55,6 +55,11 @@ type Options struct {
 	// Zone maps also require a Resolver; writers without one (incremental
 	// merges) skip them silently.
 	ZoneBlockRows int
+	// Compression selects the extent storage format: "" or "none" keeps
+	// the fixed-width v1 layout; "auto" rewrites extents into compressed
+	// columnar blocks at Finalize (block granularity = the effective
+	// ZoneBlockRows, so zone-map pruning skips whole blocks).
+	Compression string
 	// Iceberg records the min-count threshold of the build (default 1).
 	Iceberg int64
 	// Metrics is the optional observability registry: per-relation tuple
@@ -114,6 +119,9 @@ func NewWriter(opts Options) (*Writer, error) {
 	}
 	if opts.Iceberg <= 0 {
 		opts.Iceberg = 1
+	}
+	if _, err := compressionEnabled(opts.Compression); err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
@@ -275,8 +283,10 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 		return nil, err
 	}
 
+	// Uncompressed cubes are written as manifest version 1, byte-identical
+	// to pre-codec builds; the compression pass below bumps to version 2.
 	m := &Manifest{
-		Version:         manifestVersion,
+		Version:         1,
 		AggSpecs:        w.opts.AggSpecs,
 		CatFormat:       w.catFormat,
 		DimsInline:      w.opts.DimsInline,
@@ -320,6 +330,19 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 		if err := w.postProcess(m); err != nil {
 			return nil, err
 		}
+	}
+
+	// Compression runs after CURE+ post-processing (sorted extents are
+	// where RLE and delta coding earn their keep) and before checksums and
+	// zone maps, which both see the final compressed files — zone-map
+	// construction re-reads extents through a Reader, which decodes
+	// transparently.
+	if on, _ := compressionEnabled(w.opts.Compression); on {
+		if err := w.compressExtents(m); err != nil {
+			return nil, err
+		}
+		m.Compression = "block"
+		m.Version = manifestVersion
 	}
 
 	// Footprint accounting and integrity checksums.

@@ -144,6 +144,8 @@ func Apply(opts Options) (*Stats, error) {
 		FactFile: factPath,
 		FactRows: factRows,
 		Plus:     m.Plus,
+		// The maintained cube keeps the old cube's storage format.
+		Compression: m.Compression,
 	})
 	if err != nil {
 		return nil, err
