@@ -201,7 +201,9 @@ func cmdBuild(args []string) {
 	dr := fs.Bool("dr", false, "CURE_DR: store NT dimension values inline")
 	flat := fs.Bool("flat", false, "FCURE: flat cube at base levels only")
 	iceberg := fs.Int64("iceberg", 0, "min-count threshold (iceberg cube)")
-	par := fs.Int("parallelism", 0, "worker count for the build (0/1 = sequential; >1 fans the cubing recursion across cores)")
+	par := fs.Int("parallelism", 0, "worker count for the build (0/1 = sequential; >1 fans the cubing recursion and the partitioning scan across cores)")
+	scanBatch := fs.Int("scan-batch-rows", 0, "rows per partitioning-scan read batch (0 = ~1MiB of rows)")
+	scanShard := fs.Int64("scan-shard-rows", 0, "rows per partitioning-scan shard; shard boundaries fix the deterministic merge order (0 = 8 batches per shard)")
 	compress := fs.String("compress", "auto", `extent compression: "auto" (block-compressed columnar extents) or "none" (fixed-width v1 layout)`)
 	obs := obsv.RegisterFlags(fs)
 	fs.Parse(args)
@@ -218,19 +220,21 @@ func cmdBuild(args []string) {
 		fatalf("%v", err)
 	}
 	stats, err := core.Build(core.Options{
-		Dir:          *out,
-		FactPath:     *fact,
-		Hier:         loadHier(*hierPath),
-		AggSpecs:     parseAggs(*agg, numMeasures),
-		MemoryBudget: *mem,
-		PoolCapacity: *pool,
-		Plus:         *plus,
-		DimsInline:   *dr,
-		Flat:         *flat,
-		Iceberg:      *iceberg,
-		Parallelism:  *par,
-		Compression:  *compress,
-		Metrics:      obs.Registry(),
+		Dir:           *out,
+		FactPath:      *fact,
+		Hier:          loadHier(*hierPath),
+		AggSpecs:      parseAggs(*agg, numMeasures),
+		MemoryBudget:  *mem,
+		PoolCapacity:  *pool,
+		Plus:          *plus,
+		DimsInline:    *dr,
+		Flat:          *flat,
+		Iceberg:       *iceberg,
+		Parallelism:   *par,
+		ScanBatchRows: *scanBatch,
+		ScanShardRows: *scanShard,
+		Compression:   *compress,
+		Metrics:       obs.Registry(),
 	})
 	if ferr := obs.Finish(); ferr != nil && err == nil {
 		err = ferr

@@ -212,29 +212,30 @@ type experiment struct {
 
 func (h *Harness) experiments() map[string]experiment {
 	return map[string]experiment{
-		"table1":           {"table1", "Partitioning feasibility (Table 1)", (*Harness).runTable1},
-		"fig14":            {"real", "Real datasets: construction time", (*Harness).runReal},
-		"fig15":            {"real", "Real datasets: storage space", (*Harness).runReal},
-		"fig16":            {"real", "Real datasets: average query response time", (*Harness).runReal},
-		"fig17":            {"real", "Effect of caching on average QRT", (*Harness).runReal},
-		"fig18":            {"pool", "Signature-pool size vs cube size", (*Harness).runPool},
-		"fig19":            {"dims", "Dimensionality vs construction time", (*Harness).runDims},
-		"fig20":            {"dims", "Dimensionality vs storage space", (*Harness).runDims},
-		"fig21":            {"skew", "Skew vs construction time", (*Harness).runSkew},
-		"fig22":            {"skew", "Skew vs storage space", (*Harness).runSkew},
-		"fig23":            {"apb", "APB-1: construction time", (*Harness).runAPB},
-		"fig24":            {"apb", "APB-1: storage space", (*Harness).runAPB},
-		"fig25":            {"apbq", "APB-1: average QRT by result size", (*Harness).runAPBQuery},
-		"fig26":            {"flathier", "Flat vs hierarchical: construction time", (*Harness).runFlatHier},
-		"fig27":            {"flathier", "Flat vs hierarchical: storage space", (*Harness).runFlatHier},
-		"fig28":            {"flathier", "Flat vs hierarchical: roll-up/drill-down QRT", (*Harness).runFlatHier},
-		"iceberg":          {"iceberg", "Iceberg count queries (§7 closing remark)", (*Harness).runIceberg},
-		"update":           {"update", "Incremental maintenance vs full rebuild (§8)", (*Harness).runUpdate},
-		"ablation-sort":    {"ablation-sort", "CountingSort vs QuickSort under skew", (*Harness).runSortAblation},
-		"parallel-speedup": {"parallel", "Segment-parallel build: worker scaling", (*Harness).runParallel},
-		"ablation-height":  {"ablation-height", "Tallest plan (P3) vs shortest plan (P2)", (*Harness).runHeightAblation},
-		"ablation-plan":    {"ablation-plan", "Shared hierarchical plan vs independent sub-cubes", (*Harness).runPlanAblation},
-		"query-throughput": {"throughput", "Concurrent query serving: QPS/latency, zone maps vs full scans", (*Harness).runThroughput},
+		"table1":               {"table1", "Partitioning feasibility (Table 1)", (*Harness).runTable1},
+		"fig14":                {"real", "Real datasets: construction time", (*Harness).runReal},
+		"fig15":                {"real", "Real datasets: storage space", (*Harness).runReal},
+		"fig16":                {"real", "Real datasets: average query response time", (*Harness).runReal},
+		"fig17":                {"real", "Effect of caching on average QRT", (*Harness).runReal},
+		"fig18":                {"pool", "Signature-pool size vs cube size", (*Harness).runPool},
+		"fig19":                {"dims", "Dimensionality vs construction time", (*Harness).runDims},
+		"fig20":                {"dims", "Dimensionality vs storage space", (*Harness).runDims},
+		"fig21":                {"skew", "Skew vs construction time", (*Harness).runSkew},
+		"fig22":                {"skew", "Skew vs storage space", (*Harness).runSkew},
+		"fig23":                {"apb", "APB-1: construction time", (*Harness).runAPB},
+		"fig24":                {"apb", "APB-1: storage space", (*Harness).runAPB},
+		"fig25":                {"apbq", "APB-1: average QRT by result size", (*Harness).runAPBQuery},
+		"fig26":                {"flathier", "Flat vs hierarchical: construction time", (*Harness).runFlatHier},
+		"fig27":                {"flathier", "Flat vs hierarchical: storage space", (*Harness).runFlatHier},
+		"fig28":                {"flathier", "Flat vs hierarchical: roll-up/drill-down QRT", (*Harness).runFlatHier},
+		"iceberg":              {"iceberg", "Iceberg count queries (§7 closing remark)", (*Harness).runIceberg},
+		"update":               {"update", "Incremental maintenance vs full rebuild (§8)", (*Harness).runUpdate},
+		"ablation-sort":        {"ablation-sort", "CountingSort vs QuickSort under skew", (*Harness).runSortAblation},
+		"parallel-speedup":     {"parallel", "Segment-parallel build: worker scaling", (*Harness).runParallel},
+		"ablation-height":      {"ablation-height", "Tallest plan (P3) vs shortest plan (P2)", (*Harness).runHeightAblation},
+		"ablation-plan":        {"ablation-plan", "Shared hierarchical plan vs independent sub-cubes", (*Harness).runPlanAblation},
+		"query-throughput":     {"throughput", "Concurrent query serving: QPS/latency, zone maps vs full scans", (*Harness).runThroughput},
+		"partition-throughput": {"partition", "Partitioning phase: batched parallel scan vs row-at-a-time", (*Harness).runPartitionThroughput},
 	}
 }
 

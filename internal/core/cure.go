@@ -76,6 +76,13 @@ type Options struct {
 	// statistics — the formats differ only in size, never in
 	// correctness.
 	Parallelism int
+	// ScanBatchRows overrides the partitioner's decode batch size in
+	// rows (≤ 0 picks enough rows for ~1 MB of raw data).
+	ScanBatchRows int
+	// ScanShardRows overrides the partitioner's shard size in rows
+	// (≤ 0 picks 8 decode batches). Shard boundaries never depend on
+	// Parallelism, so the pass is reproducible across worker counts.
+	ScanShardRows int64
 	// ForceFormat overrides the dynamic CAT-format decision.
 	ForceFormat signature.Format
 	// ZoneBlockRows is the zone-map block granularity Finalize indexes
@@ -388,7 +395,7 @@ func buildPartitioned(opts Options, hier *hierarchy.Schema, rBytes int64, lim *p
 	}
 	splitSpan := root.Child("partition.split")
 	splitSpan.AddBytesRead(rBytes)
-	res, err := partition.PartitionObs(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice, reg)
+	res, err := partition.PartitionScan(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice, scanConfig(opts, lim, splitSpan))
 	if err != nil {
 		return err
 	}
@@ -521,7 +528,7 @@ func runPartitionsParallel(paths []string, level int, hier *hierarchy.Schema, op
 func buildPartitionedPair(opts Options, hier *hierarchy.Schema, choice partition.PairChoice, lim *parLimiter, pool *signature.Pool, w *storage.Writer, stats *BuildStats, root *obsv.Span) error {
 	reg := opts.Metrics
 	splitSpan := root.Child("partition.split")
-	res, err := partition.PartitionPair(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice)
+	res, err := partition.PartitionPairScan(opts.FactPath, opts.TempDir, hier, opts.AggSpecs, choice, scanConfig(opts, lim, splitSpan))
 	if err != nil {
 		return err
 	}

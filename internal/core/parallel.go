@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"cure/internal/obsv"
+	"cure/internal/partition"
 	"cure/internal/signature"
 	"cure/internal/sortutil"
 )
@@ -53,6 +54,32 @@ func (l *parLimiter) tryAcquire() bool {
 }
 
 func (l *parLimiter) release() { l.slots <- struct{}{} }
+
+// limiterPool adapts the build's limiter to partition.WorkerPool so the
+// scan pipeline's extra workers draw from the same build-wide cap as
+// every other parallel site.
+type limiterPool struct{ lim *parLimiter }
+
+func (p limiterPool) TryAcquire() bool { return p.lim.tryAcquire() }
+func (p limiterPool) Release()         { p.lim.release() }
+
+// scanConfig assembles the partitioner's pipeline configuration from the
+// build options: worker slots come from the shared limiter, batch/shard
+// sizing from the scan knobs, and counters/spans from the metrics
+// registry.
+func scanConfig(opts Options, lim *parLimiter, span *obsv.Span) partition.ScanConfig {
+	cfg := partition.ScanConfig{
+		Parallelism: opts.Parallelism,
+		BatchRows:   opts.ScanBatchRows,
+		ShardRows:   opts.ScanShardRows,
+		Reg:         opts.Metrics,
+		Span:        span,
+	}
+	if lim != nil {
+		cfg.Pool = limiterPool{lim}
+	}
+	return cfg
+}
 
 // maxSlots is the worker-state capacity a site must provision: slot 0
 // is the calling goroutine, slots 1..cap(slots) are limiter grants.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,23 @@ import (
 	"cure/internal/relation"
 	"cure/internal/signature"
 )
+
+// pairEquivFact draws rows in pairHier's code space (A:64, B:256, C:5)
+// with integer-valued measures so aggregates stay exact across fold
+// orders — the same shape TestPairPartitionedBuildMatchesReference uses.
+func pairEquivFact(t *testing.T, seed int64) *relation.FactTable {
+	t.Helper()
+	schema := &relation.Schema{DimNames: []string{"A", "B", "C"}, MeasureNames: []string{"M1", "M2"}}
+	ft := relation.NewFactTable(schema, 1600)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1600; i++ {
+		ft.Append(
+			[]int32{int32(rng.Intn(64)), int32(rng.Intn(256)), int32(rng.Intn(5))},
+			[]float64{float64(rng.Intn(12)), float64(rng.Intn(3))},
+		)
+	}
+	return ft
+}
 
 func buildAt(t *testing.T, dir string, ft *relation.FactTable, opts Options) *BuildStats {
 	t.Helper()
@@ -70,6 +88,7 @@ func TestParallelEquivalence(t *testing.T) {
 		{name: "flat", ft: randomFact(t, 1500, 8), opts: Options{Hier: hier, AggSpecs: testSpecs(), Flat: true}},
 		{name: "iceberg", ft: randomFact(t, 1500, 9), opts: Options{Hier: hier, AggSpecs: testSpecs(), Iceberg: 3}},
 		{name: "partitioned", ft: randomFact(t, 1200, 19), opts: Options{Hier: hier, AggSpecs: testSpecs(), MemoryBudget: 24_000}},
+		{name: "pair-partitioned", ft: pairEquivFact(t, 27), opts: Options{Hier: pairHier(t), AggSpecs: testSpecs(), MemoryBudget: 5_600}},
 	}
 	for _, cfg := range configs {
 		t.Run(cfg.name, func(t *testing.T) {
@@ -90,7 +109,7 @@ func TestParallelEquivalence(t *testing.T) {
 				if parStats.Pool.Total != seqStats.Pool.Total {
 					t.Errorf("P=%d classified %d signatures, sequential %d", p, parStats.Pool.Total, seqStats.Pool.Total)
 				}
-				if cfg.name == "partitioned" && !parStats.Partitioned {
+				if cfg.opts.MemoryBudget > 0 && !parStats.Partitioned {
 					t.Errorf("P=%d did not take the external path", p)
 				}
 			}

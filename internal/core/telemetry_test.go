@@ -41,10 +41,11 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	hier := paperHier(t)
 	// Large enough that the build cannot outrun the first scrape loop
 	// iterations even on a loaded single-core machine — observing the
-	// running build below must stay deterministic in practice. (96k base
-	// rows: at 32k a heavily loaded VM could finish the build before the
-	// scrape loop caught a running span.)
-	ft := duplicatedFact(t, 96000, 31)
+	// running build below must stay deterministic in practice. (Bumped
+	// 32k → 96k → 192k: each time a build phase gets faster — last the
+	// batched partition scan — the window for catching a running span
+	// shrinks again.)
+	ft := duplicatedFact(t, 192000, 31)
 	dir := t.TempDir()
 	factPath := filepath.Join(dir, "fact.bin")
 	if err := relation.WriteFactFile(factPath, ft); err != nil {
@@ -69,7 +70,9 @@ func TestLiveTelemetryDuringPartitionedBuild(t *testing.T) {
 	// the partitioner to find a sound split, small enough both to force
 	// the external path and to sit far below the process's real heap use
 	// (so the sampler must record a budget crossing).
-	const memBudget = 3_840_000
+	// Scaled 2× with the 192k-row table so level selection still finds a
+	// sound split while the heap still crosses the budget.
+	const memBudget = 7_680_000
 	buildDone := make(chan error, 1)
 	var stats *BuildStats
 	go func() {

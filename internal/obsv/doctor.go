@@ -156,6 +156,7 @@ func (b *Bundle) WriteReport(w io.Writer) error {
 
 	b.reportMemory(bw)
 	b.reportRates(bw)
+	b.reportPartition(bw)
 	b.reportQueries(bw)
 	b.reportGoroutines(bw)
 
@@ -251,6 +252,37 @@ func (b *Bundle) reportRates(w io.Writer) {
 		b.History.WindowSec, len(b.History.Points))
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-40s %+12d  (%.1f/s)\n", r.name, r.d, r.r)
+	}
+}
+
+// reportPartition renders the partitioned-scan picture: partition count
+// and skew (max vs mean rows per partition — heavy skew means one
+// partition file dominates the cubing phase), and the scan pipeline's
+// worker count and flush-contention counters.
+func (b *Bundle) reportPartition(w io.Writer) {
+	if b.Metrics == nil {
+		return
+	}
+	mean := b.Metrics.Gauges["partition.skew.mean_rows"]
+	if mean == 0 {
+		return
+	}
+	max := b.Metrics.Gauges["partition.skew.max_rows"]
+	fmt.Fprintf(w, "\n## Partitioned scan\n")
+	fmt.Fprintf(w, "partitions=%d level=%d rows/partition mean=%d max=%d (skew ×%.2f)\n",
+		b.Metrics.Gauges["partition.count"], b.Metrics.Gauges["partition.level"],
+		mean, max, float64(max)/float64(mean))
+	if workers := b.Metrics.Gauges["partition.scan.workers"]; workers > 0 {
+		flushes := b.Metrics.Counters["partition.scan.flushes"]
+		stalls := b.Metrics.Counters["partition.scan.flush_stalls"]
+		fmt.Fprintf(w, "scan workers=%d shards=%d batches=%d flushes=%d flush_stalls=%d merge_stalls=%d\n",
+			workers, b.Metrics.Counters["partition.scan.shards"],
+			b.Metrics.Counters["partition.scan.batches"], flushes, stalls,
+			b.Metrics.Counters["partition.scan.merge_stalls"])
+		if flushes > 0 && stalls*5 >= flushes {
+			fmt.Fprintf(w, "note: %d%% of flushes stalled on a writer lock — partitions are too few or too hot for this worker count\n",
+				stalls*100/flushes)
+		}
 	}
 }
 

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -95,7 +94,14 @@ type PairResult struct {
 // (A_L, B_M) pair code and hash-building both in-memory nodes in the same
 // pass. Both affected dimensions must be hierarchy-consistent above their
 // partitioning levels.
-func PartitionPair(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice PairChoice) (res *PairResult, err error) {
+func PartitionPair(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice PairChoice) (*PairResult, error) {
+	return PartitionPairScan(factPath, dir, hier, specs, choice, ScanConfig{})
+}
+
+// PartitionPairScan is PartitionPair through the parallel scan pipeline
+// (see PartitionScan): same deterministic N1/N2 at every worker count,
+// same partition-row multisets, plus the scan counters and spans.
+func PartitionPairScan(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice PairChoice, cfg ScanConfig) (res *PairResult, err error) {
 	if hier.NumDims() < 2 {
 		return nil, fmt.Errorf("partition: pair partitioning needs at least 2 dimensions")
 	}
@@ -148,92 +154,60 @@ func PartitionPair(factPath, dir string, hier *hierarchy.Schema, specs []relatio
 		DimNames:     fr.Schema().DimNames,
 		MeasureNames: append(append([]string{}, aggColNames(specs)...), "__count"),
 	}
-	acc1 := newNodeAccumulator(nSchema, specs, numDims)
-	acc2 := newNodeAccumulator(nSchema, specs, numDims)
-
-	dims := make([]int32, numDims)
-	meas := make([]float64, fr.Schema().NumMeasures())
-	buf := make([]byte, fr.RowWidth())
-	key := make([]byte, 4*numDims)
 	cardBM := int64(dimB.Card(choice.LevelB))
-	for r := int64(0); r < fr.Rows(); r++ {
-		if err := fr.ReadRaw(r, buf); err != nil {
-			return nil, err
+	la, lb := choice.LevelA, choice.LevelB
+	fold := func(b *relation.Batch, i int, rowid int64, w *scanWorker, hashes []*nodeHash) (int, error) {
+		d0, d1 := b.Dims[0][i], b.Dims[1][i]
+		codeA := dimA.MapCode(d0, la)
+		codeB := dimB.MapCode(d1, lb)
+		if codeA < 0 || codeB < 0 {
+			return 0, fmt.Errorf("partition: negative mapped pair code (%s@%d→%d, %s@%d→%d)",
+				dimA.Name, d0, codeA, dimB.Name, d1, codeB)
 		}
-		fr.DecodeRow(buf, dims, meas)
-		pair := int64(dimA.MapCode(dims[0], choice.LevelA))*cardBM + int64(dimB.MapCode(dims[1], choice.LevelB))
-		if err := writers[pair%int64(numParts)].WriteWithRowID(dims, meas, r); err != nil {
-			return nil, err
+		pair := int64(codeA)*cardBM + int64(codeB)
+		p := int(pair % int64(numParts))
+		for m := range w.meas {
+			w.meas[m] = b.Meas[m][i]
+		}
+		// Base codes packed two per word; the two node keys differ from
+		// each other only in word 0 (dims 0 and 1 share it).
+		kw := w.kwords
+		for j := 1; j < len(kw); j++ {
+			kw[j] = 0
+		}
+		for d := 2; d < numDims; d++ {
+			kw[d>>1] |= uint64(uint32(b.Dims[d][i])) << (uint(d&1) * 32)
 		}
 		// N1 key: dim0 at L+1, everything else at base.
-		binary.LittleEndian.PutUint32(key[0:], uint32(dimA.MapCode(dims[0], choice.LevelA+1)))
-		for d := 1; d < numDims; d++ {
-			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+		kw[0] = uint64(uint32(dimA.MapCode(d0, la+1))) | uint64(uint32(d1))<<32
+		if hashes[0].addRowWords(kw, w.meas, rowid) {
+			hashes[0].appendRepFromBatch(b, i)
 		}
-		acc1.add(string(key), dims, meas, r)
 		// N2 key: dim1 at M+1, everything else at base.
-		binary.LittleEndian.PutUint32(key[0:], uint32(dims[0]))
-		binary.LittleEndian.PutUint32(key[4:], uint32(dimB.MapCode(dims[1], choice.LevelB+1)))
-		for d := 2; d < numDims; d++ {
-			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+		kw[0] = uint64(uint32(d0)) | uint64(uint32(dimB.MapCode(d1, lb+1)))<<32
+		if hashes[1].addRowWords(kw, w.meas, rowid) {
+			hashes[1].appendRepFromBatch(b, i)
 		}
-		acc2.add(string(key), dims, meas, r)
+		return p, nil
 	}
-	for _, w := range writers {
+	hashes, err := runScanPipeline(fr, cfg, writers, 2, specs, numDims, fold)
+	if err != nil {
+		return nil, err
+	}
+	rowsPerPart := make([]int64, numParts)
+	for i, w := range writers {
+		rowsPerPart[i] = w.Rows()
 		if cerr := w.Close(); cerr != nil {
 			return nil, cerr
 		}
 	}
+	reportSkew(cfg.Reg, rowsPerPart)
 	return &PairResult{
 		Choice:         choice,
 		PartitionPaths: paths,
-		N1:             acc1.finish(),
-		N2:             acc2.finish(),
+		N1:             hashes[0].materialize(nSchema),
+		N2:             hashes[1].materialize(nSchema),
 		NSpecs:         DerivedSpecs(specs, len(specs)),
 		NCountCol:      len(specs),
 	}, nil
-}
-
-// nodeAccumulator hash-builds one in-memory node during the partitioning
-// pass (shared by the single-dimension and pair paths).
-type nodeAccumulator struct {
-	table  *relation.FactTable
-	groups map[string]int32
-	aggs   []*relation.Aggregator
-	specs  []relation.AggSpec
-}
-
-func newNodeAccumulator(schema *relation.Schema, specs []relation.AggSpec, numDims int) *nodeAccumulator {
-	return &nodeAccumulator{
-		table:  relation.NewFactTable(schema, 1024),
-		groups: map[string]int32{},
-		specs:  specs,
-	}
-}
-
-func (a *nodeAccumulator) add(key string, dims []int32, meas []float64, rowid int64) {
-	gi, ok := a.groups[key]
-	if !ok {
-		gi = int32(a.table.Len())
-		a.groups[key] = gi
-		placeholder := make([]float64, len(a.specs)+1)
-		a.table.AppendWithRowID(dims, placeholder, rowid)
-		a.aggs = append(a.aggs, relation.NewAggregator(a.specs))
-	}
-	a.aggs[gi].AddValues(meas)
-	if rowid < a.table.RowID(int(gi)) {
-		a.table.RowIDs[gi] = rowid
-	}
-}
-
-func (a *nodeAccumulator) finish() *relation.FactTable {
-	vals := make([]float64, len(a.specs))
-	for gi, agg := range a.aggs {
-		vals = agg.Values(vals)
-		for i, v := range vals {
-			a.table.Measures[i][gi] = v
-		}
-		a.table.Measures[len(a.specs)][gi] = float64(agg.Count())
-	}
-	return a.table
 }

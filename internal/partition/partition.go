@@ -7,7 +7,6 @@
 package partition
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -157,7 +156,18 @@ func Partition(factPath, dir string, hier *hierarchy.Schema, specs []relation.Ag
 // bytes_read ≈ 2 × bytes_written once the cubing phase re-reads the
 // partitions), and a partition event per file records its rows and bytes.
 // A nil registry makes it identical to Partition.
-func PartitionObs(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice, reg *obsv.Registry) (res *Result, err error) {
+func PartitionObs(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice, reg *obsv.Registry) (*Result, error) {
+	return PartitionScan(factPath, dir, hier, specs, choice, ScanConfig{Reg: reg})
+}
+
+// PartitionScan is the full pipeline entry point: PartitionObs plus the
+// scan knobs — worker count (drawn from cfg.Pool when set), batch and
+// shard sizing, and the parent span for per-shard scan children. The
+// result is identical at every parallelism level: the node N comes out
+// in the exact group order a sequential scan produces (see nodeHash),
+// and partition files hold the same row multiset with original row-ids
+// (row order within a partition file may differ under parallelism).
+func PartitionScan(factPath, dir string, hier *hierarchy.Schema, specs []relation.AggSpec, choice LevelChoice, cfg ScanConfig) (res *Result, err error) {
 	fr, err := relation.OpenFactReader(factPath)
 	if err != nil {
 		return nil, err
@@ -199,61 +209,55 @@ func PartitionObs(factPath, dir string, hier *hierarchy.Schema, specs []relation
 	// N accumulates groups keyed by (A_{L+1} code, base codes of the
 	// other dimensions).
 	numDims := hier.NumDims()
-	numMeasures := fr.Schema().NumMeasures()
 	nSchema := &relation.Schema{
 		DimNames:     fr.Schema().DimNames,
 		MeasureNames: append(append([]string{}, aggColNames(specs)...), "__count"),
 	}
-	n := relation.NewFactTable(nSchema, 1024)
-	groups := map[string]int32{}
-	key := make([]byte, 4*numDims)
-	dims := make([]int32, numDims)
-	meas := make([]float64, numMeasures)
-	nRow := make([]float64, len(specs)+1)
-	aggs := make([]*relation.Aggregator, 0) // one per group; parallel to n rows
-	buf := make([]byte, fr.RowWidth())
-
-	rowsPerPart := make([]int64, numParts)
 	levelL := choice.Level
-	for r := int64(0); r < fr.Rows(); r++ {
-		if err := fr.ReadRaw(r, buf); err != nil {
-			return nil, err
+	fold := func(b *relation.Batch, i int, rowid int64, w *scanWorker, hashes []*nodeHash) (int, error) {
+		d0 := b.Dims[0][i]
+		code := dim0.MapCode(d0, levelL)
+		if code < 0 {
+			return 0, fmt.Errorf("partition: dim %s maps base code %d to negative level-%d code %d",
+				dim0.Name, d0, levelL, code)
 		}
-		fr.DecodeRow(buf, dims, meas)
-		code := dim0.MapCode(dims[0], levelL)
 		p := int(code) % numParts
-		if err := writers[p].WriteWithRowID(dims, meas, r); err != nil {
-			return nil, err
+		// Node key: dim 0 at L+1, every other dimension at base — packed
+		// two 4-byte codes per word, same layout nodeHash.toWords builds.
+		kw := w.kwords
+		kw[0] = uint64(uint32(dim0.MapCode(d0, levelL+1)))
+		for j := 1; j < len(kw); j++ {
+			kw[j] = 0
 		}
-		rowsPerPart[p]++
-
-		// Fold into N.
-		binary.LittleEndian.PutUint32(key[0:], uint32(dim0.MapCode(dims[0], levelL+1)))
 		for d := 1; d < numDims; d++ {
-			binary.LittleEndian.PutUint32(key[4*d:], uint32(dims[d]))
+			kw[d>>1] |= uint64(uint32(b.Dims[d][i])) << (uint(d&1) * 32)
 		}
-		gi, ok := groups[string(key)]
-		if !ok {
-			gi = int32(n.Len())
-			groups[string(key)] = gi
-			n.AppendWithRowID(dims, nRow[:len(specs)+1], r) // placeholder measures
-			aggs = append(aggs, relation.NewAggregator(specs))
+		for m := range w.meas {
+			w.meas[m] = b.Meas[m][i]
 		}
-		// Aggregate directly from the decoded measures.
-		aggs[gi].AddValues(meas)
-		if r < n.RowID(int(gi)) {
-			n.RowIDs[gi] = r
+		if hashes[0].addRowWords(kw, w.meas, rowid) {
+			hashes[0].appendRepFromBatch(b, i)
 		}
+		return p, nil
 	}
-	for _, w := range writers {
+	hashes, err := runScanPipeline(fr, cfg, writers, 1, specs, numDims, fold)
+	if err != nil {
+		return nil, err
+	}
+	rowsPerPart := make([]int64, numParts)
+	for i, w := range writers {
+		rowsPerPart[i] = w.Rows()
 		if cerr := w.Close(); cerr != nil {
 			return nil, cerr
 		}
 	}
+	n := hashes[0].materialize(nSchema)
+	reg := cfg.Reg
 	if reg != nil {
 		reg.Counter("partition.bytes_read").Add(fr.Rows() * int64(fr.RowWidth()))
 		reg.Counter("partition.rows").Add(fr.Rows())
 		reg.Gauge("partition.n_groups").Set(int64(n.Len()))
+		reportSkew(reg, rowsPerPart)
 		tr := reg.Trace()
 		for i, p := range paths {
 			var size int64
@@ -265,15 +269,6 @@ func PartitionObs(factPath, dir string, hier *hierarchy.Schema, specs []relation
 				tr.Emit(obsv.PartitionEvent{Ev: "partition", Index: i, Rows: rowsPerPart[i], Bytes: size})
 			}
 		}
-	}
-	// Materialize aggregate values and counts into N's measure columns.
-	vals := make([]float64, len(specs))
-	for gi, a := range aggs {
-		vals = a.Values(vals)
-		for i, v := range vals {
-			n.Measures[i][gi] = v
-		}
-		n.Measures[len(specs)][gi] = float64(a.Count())
 	}
 	return &Result{
 		Choice:         choice,

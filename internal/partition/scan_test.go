@@ -1,0 +1,357 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cure/internal/hierarchy"
+	"cure/internal/obsv"
+	"cure/internal/relation"
+)
+
+// tablesIdentical requires exact equality — same rows in the same order,
+// same row-ids. The parallel pipeline promises byte-equal N at every
+// worker count, so order-insensitive comparison would be too weak.
+func tablesIdentical(t *testing.T, label string, a, b *relation.FactTable) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: %d rows vs %d", label, a.Len(), b.Len())
+	}
+	if !reflect.DeepEqual(a.Dims, b.Dims) {
+		t.Fatalf("%s: dim columns differ", label)
+	}
+	if !reflect.DeepEqual(a.Measures, b.Measures) {
+		t.Fatalf("%s: measure columns differ", label)
+	}
+	if !reflect.DeepEqual(a.RowIDs, b.RowIDs) {
+		t.Fatalf("%s: row-ids differ", label)
+	}
+}
+
+// partitionRowSets loads every partition file into a sorted multiset of
+// row strings (row-id included), one per partition.
+func partitionRowSets(t *testing.T, paths []string) [][]string {
+	t.Helper()
+	out := make([][]string, len(paths))
+	for i, p := range paths {
+		pt, err := relation.ReadFactFile(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		rows := make([]string, pt.Len())
+		for r := 0; r < pt.Len(); r++ {
+			rows[r] = rowString(pt, r)
+		}
+		sort.Strings(rows)
+		out[i] = rows
+	}
+	return out
+}
+
+func rowString(tbl *relation.FactTable, r int) string {
+	s := fmt.Sprintf("id=%d", tbl.RowID(r))
+	for d := range tbl.Dims {
+		s += fmt.Sprintf(",d%d=%d", d, tbl.Dims[d][r])
+	}
+	for m := range tbl.Measures {
+		s += fmt.Sprintf(",m%d=%v", m, tbl.Measures[m][r])
+	}
+	return s
+}
+
+// hierTestFact builds a fact table over a 3-level first dimension, a
+// 2-level second, and a flat third — the "hierarchical" equivalence
+// configuration.
+func hierTestFact(t *testing.T, rows int) (string, *hierarchy.Schema) {
+	t.Helper()
+	m1 := hierarchy.BuildContiguousMap(24, 6)
+	m2 := hierarchy.ComposeMaps(m1, hierarchy.BuildContiguousMap(6, 2))
+	a, err := hierarchy.NewLinearDim("A", []string{"A0", "A1", "A2"}, []int32{24, 6, 2}, [][]int32{m1, m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hierarchy.NewLinearDim("B", []string{"B0", "B1"}, []int32{10, 2},
+		[][]int32{hierarchy.BuildContiguousMap(10, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := hierarchy.NewSchema(a, b, hierarchy.NewFlatDim("C", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := &relation.Schema{DimNames: []string{"A", "B", "C"}, MeasureNames: []string{"M", "Q"}}
+	ft := relation.NewFactTable(schema, rows)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < rows; i++ {
+		ft.Append(
+			[]int32{int32(rng.Intn(24)), int32(rng.Intn(10)), int32(rng.Intn(4))},
+			[]float64{float64(rng.Intn(50)), float64(rng.Intn(7))},
+		)
+	}
+	path := filepath.Join(t.TempDir(), "fact.bin")
+	if err := relation.WriteFactFile(path, ft); err != nil {
+		t.Fatal(err)
+	}
+	return path, hier
+}
+
+// TestPartitionParallelEquivalence is the satellite equivalence matrix:
+// P ∈ {1, 2, 8} (plus deliberately tiny batch/shard sizes to force many
+// shards and partial batches) must yield an identical node N — same
+// groups, same order, same aggregates, same min row-ids — and identical
+// per-partition row multisets with preserved row-ids.
+func TestPartitionParallelEquivalence(t *testing.T) {
+	configs := []struct {
+		name   string
+		fact   func(t *testing.T) (string, *hierarchy.Schema)
+		specs  []relation.AggSpec
+		choice LevelChoice
+	}{
+		{"flat", func(t *testing.T) (string, *hierarchy.Schema) {
+			p, h, _ := buildTestFact(t, 700)
+			return p, h
+		}, []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+			{Func: relation.AggMin, Measure: 0},
+		}, LevelChoice{Level: 0, NumPartitions: 4}},
+		{"hierarchical", func(t *testing.T) (string, *hierarchy.Schema) {
+			return hierTestFact(t, 900)
+		}, []relation.AggSpec{
+			{Func: relation.AggSum, Measure: 0},
+			{Func: relation.AggCount},
+			{Func: relation.AggMin, Measure: 1},
+			{Func: relation.AggMax, Measure: 0},
+		}, LevelChoice{Level: 1, NumPartitions: 3}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			path, hier := cfg.fact(t)
+			specs := cfg.specs
+			base, err := PartitionScan(path, t.TempDir(), hier, specs, cfg.choice,
+				ScanConfig{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseRows := partitionRowSets(t, base.PartitionPaths)
+			for _, par := range []int{1, 2, 8} {
+				reg := obsv.NewRegistry()
+				res, err := PartitionScan(path, t.TempDir(), hier, specs, cfg.choice,
+					ScanConfig{Parallelism: par, BatchRows: 37, ShardRows: 111, Reg: reg})
+				if err != nil {
+					t.Fatalf("P=%d: %v", par, err)
+				}
+				tablesIdentical(t, fmt.Sprintf("P=%d node N", par), base.N, res.N)
+				gotRows := partitionRowSets(t, res.PartitionPaths)
+				if !reflect.DeepEqual(baseRows, gotRows) {
+					t.Fatalf("P=%d: partition row multisets differ", par)
+				}
+				if g := reg.Gauge("partition.skew.max_rows").Value(); g <= 0 {
+					t.Fatalf("P=%d: skew gauge not published (max_rows=%d)", par, g)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionPairParallelEquivalence covers the pair-partitioned leg
+// of the matrix: both nodes N1 and N2 and the partition row multisets
+// must be identical at every worker count.
+func TestPartitionPairParallelEquivalence(t *testing.T) {
+	path, hier := hierTestFact(t, 800)
+	specs := []relation.AggSpec{
+		{Func: relation.AggSum, Measure: 0},
+		{Func: relation.AggCount},
+		{Func: relation.AggMax, Measure: 1},
+	}
+	choice := PairChoice{LevelA: 1, LevelB: 1, NumPartitions: 5}
+	base, err := PartitionPairScan(path, t.TempDir(), hier, specs, choice, ScanConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := partitionRowSets(t, base.PartitionPaths)
+	for _, par := range []int{1, 2, 8} {
+		res, err := PartitionPairScan(path, t.TempDir(), hier, specs, choice,
+			ScanConfig{Parallelism: par, BatchRows: 29, ShardRows: 97})
+		if err != nil {
+			t.Fatalf("P=%d: %v", par, err)
+		}
+		tablesIdentical(t, fmt.Sprintf("P=%d N1", par), base.N1, res.N1)
+		tablesIdentical(t, fmt.Sprintf("P=%d N2", par), base.N2, res.N2)
+		gotRows := partitionRowSets(t, res.PartitionPaths)
+		if !reflect.DeepEqual(baseRows, gotRows) {
+			t.Fatalf("P=%d: partition row multisets differ", par)
+		}
+	}
+}
+
+// TestPartitionRejectsNegativeCode: a corrupt fact row with a negative
+// dimension code must fail the build with an explicit error instead of
+// panicking on a negative partition index.
+func TestPartitionRejectsNegativeCode(t *testing.T) {
+	hier, err := hierarchy.NewSchema(hierarchy.NewFlatDim("A", 8), hierarchy.NewFlatDim("B", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := &relation.Schema{DimNames: []string{"A", "B"}, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, 4)
+	ft.Append([]int32{1, 0}, []float64{1})
+	ft.Append([]int32{-3, 1}, []float64{2}) // corrupt
+	path := filepath.Join(t.TempDir(), "fact.bin")
+	if err := relation.WriteFactFile(path, ft); err != nil {
+		t.Fatal(err)
+	}
+	specs := []relation.AggSpec{{Func: relation.AggCount}}
+	if _, err := Partition(path, t.TempDir(), hier, specs, LevelChoice{Level: 0, NumPartitions: 2}); err == nil {
+		t.Fatal("negative dim code accepted")
+	}
+	// Pair path too.
+	if _, err := PartitionPair(path, t.TempDir(), hier, specs, PairChoice{LevelA: 0, LevelB: 0, NumPartitions: 2}); err == nil {
+		t.Fatal("negative dim code accepted by pair partitioner")
+	}
+}
+
+// TestNodeHashMatchesAggregator drives nodeHash.addRow and mergeFrom
+// against the reference relation.Aggregator on random data.
+func TestNodeHashMatchesAggregator(t *testing.T) {
+	specs := []relation.AggSpec{
+		{Func: relation.AggSum, Measure: 0},
+		{Func: relation.AggCount},
+		{Func: relation.AggMin, Measure: 1},
+		{Func: relation.AggMax, Measure: 1},
+	}
+	const nDims = 2
+	rng := rand.New(rand.NewSource(3))
+	type row struct {
+		dims []int32
+		meas []float64
+	}
+	rows := make([]row, 2000)
+	for i := range rows {
+		rows[i] = row{
+			dims: []int32{int32(rng.Intn(7)), int32(rng.Intn(5))},
+			meas: []float64{float64(rng.Intn(100)) - 50, float64(rng.Intn(40)) - 20},
+		}
+	}
+	key := make([]byte, 4*nDims)
+	keyOf := func(r row) []byte {
+		for d, v := range r.dims {
+			key[4*d] = byte(v)
+			key[4*d+1] = byte(v >> 8)
+			key[4*d+2] = byte(v >> 16)
+			key[4*d+3] = byte(v >> 24)
+		}
+		return key
+	}
+	// Reference: map of Aggregators in first-occurrence order.
+	type ref struct {
+		agg    *relation.Aggregator
+		minRow int64
+	}
+	want := map[string]*ref{}
+	var order []string
+	for i, r := range rows {
+		k := string(keyOf(r))
+		g, ok := want[k]
+		if !ok {
+			g = &ref{agg: relation.NewAggregator(specs), minRow: int64(i)}
+			want[k] = g
+			order = append(order, k)
+		}
+		g.agg.AddValues(r.meas)
+	}
+	// keyAt unpacks group gi's stored key words back into the byte form
+	// keyOf produces.
+	keyAt := func(h *nodeHash, gi int) string {
+		buf := make([]byte, h.kw*8)
+		for j, v := range h.keyWords(gi) {
+			for b := 0; b < 8; b++ {
+				buf[8*j+b] = byte(v >> (8 * b))
+			}
+		}
+		return string(buf[:h.keyLen])
+	}
+	check := func(label string, h *nodeHash) {
+		t.Helper()
+		if h.n != len(order) {
+			t.Fatalf("%s: %d groups, want %d", label, h.n, len(order))
+		}
+		for gi, k := range order {
+			if keyAt(h, gi) != k {
+				t.Fatalf("%s: group %d out of order", label, gi)
+			}
+			g := want[k]
+			vals := g.agg.Values(nil)
+			for i := range vals {
+				if h.val(gi, i) != vals[i] {
+					t.Fatalf("%s: group %d spec %d: %v want %v", label, gi, i, h.val(gi, i), vals[i])
+				}
+			}
+			if h.count(gi) != g.agg.Count() {
+				t.Fatalf("%s: group %d count %d want %d", label, gi, h.count(gi), g.agg.Count())
+			}
+			if h.minRow(gi) != g.minRow {
+				t.Fatalf("%s: group %d minRow %d want %d", label, gi, h.minRow(gi), g.minRow)
+			}
+		}
+	}
+	// Single hash, sequential adds.
+	h := newNodeHash(specs, nDims)
+	for i, r := range rows {
+		h.addRow(keyOf(r), r.dims, r.meas, int64(i))
+	}
+	check("sequential", h)
+	// Split into shards at awkward boundaries, merge in order.
+	for _, nShards := range []int{2, 3, 7, 2000} {
+		merged := newNodeHash(specs, nDims)
+		per := (len(rows) + nShards - 1) / nShards
+		for s := 0; s < nShards; s++ {
+			lo, hi := s*per, (s+1)*per
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			sh := newNodeHash(specs, nDims)
+			for i := lo; i < hi; i++ {
+				sh.addRow(keyOf(rows[i]), rows[i].dims, rows[i].meas, int64(i))
+			}
+			merged.mergeFrom(sh)
+		}
+		check(fmt.Sprintf("merged-%d", nShards), merged)
+	}
+}
+
+// TestScanPipelineEmptyFact: zero-row inputs must produce empty
+// partitions and an empty N without tripping the shard math.
+func TestScanPipelineEmptyFact(t *testing.T) {
+	hier, err := hierarchy.NewSchema(hierarchy.NewFlatDim("A", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := &relation.Schema{DimNames: []string{"A"}, MeasureNames: []string{"M"}}
+	ft := relation.NewFactTable(schema, 0)
+	path := filepath.Join(t.TempDir(), "fact.bin")
+	if err := relation.WriteFactFile(path, ft); err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartitionScan(path, t.TempDir(), hier, []relation.AggSpec{{Func: relation.AggCount}},
+		LevelChoice{Level: 0, NumPartitions: 2}, ScanConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N.Len() != 0 {
+		t.Fatalf("empty fact produced %d N groups", res.N.Len())
+	}
+	for _, p := range res.PartitionPaths {
+		pt, err := relation.ReadFactFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Len() != 0 {
+			t.Fatalf("empty fact produced %d partition rows", pt.Len())
+		}
+	}
+}

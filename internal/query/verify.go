@@ -33,14 +33,15 @@ const maxVerifyErrors = 20
 // NT references, CAT indirection, AGGREGATES, bitmaps). Iceberg cubes
 // are verified against the thresholded ground truth.
 func (e *Engine) Verify(sampleNodes int, seed int64) (*VerifyReport, error) {
-	ft, err := relation.ReadFactFile(e.FactPath())
+	// The manifest pins the cube's row count; load exactly that prefix via
+	// the chunked scan path, ignoring rows appended later (incremental
+	// updates extend the file before the cube is swapped).
+	rows := int(e.Manifest().FactRows)
+	ft, err := relation.LoadFactRows(e.FactPath(), int64(rows))
 	if err != nil {
 		return nil, err
 	}
-	// The manifest pins the cube's row count; ignore rows appended later
-	// (incremental updates extend the file before the cube is swapped).
-	rows := int(e.Manifest().FactRows)
-	if rows > ft.Len() {
+	if ft.Len() < rows {
 		return nil, fmt.Errorf("query: cube expects %d fact rows, file has %d", rows, ft.Len())
 	}
 

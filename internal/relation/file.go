@@ -115,6 +115,9 @@ func readHeader(r io.Reader) (*Schema, int64, uint16, error) {
 		return nil, 0, 0, err
 	}
 	rows := int64(binary.LittleEndian.Uint64(buf[:8]))
+	if rows < 0 {
+		return nil, 0, 0, fmt.Errorf("relation: corrupt fact-file header: row count %d", rows)
+	}
 	readName := func() (string, error) {
 		if _, err := io.ReadFull(r, buf[:2]); err != nil {
 			return "", err
@@ -139,6 +142,9 @@ func readHeader(r io.Reader) (*Schema, int64, uint16, error) {
 			return nil, 0, 0, err
 		}
 		s.MeasureNames = append(s.MeasureNames, name)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, 0, 0, fmt.Errorf("relation: corrupt fact-file header: %w", err)
 	}
 	return s, rows, flags, nil
 }
@@ -294,40 +300,10 @@ func (fw *FactWriter) Close() error {
 	return fw.f.Close()
 }
 
-// ReadFactFile loads an entire fact file into memory.
+// ReadFactFile loads an entire fact file into memory via the chunked
+// batch scan (see scan.go).
 func ReadFactFile(path string) (*FactTable, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	schema, rows, flags, err := readHeader(r)
-	if err != nil {
-		return nil, fmt.Errorf("relation: %s: %w", path, err)
-	}
-	hasIDs := flags&flagRowIDs != 0
-	t := NewFactTable(schema, int(rows))
-	width := schema.RowWidth()
-	if hasIDs {
-		width += 8
-		t.RowIDs = make([]int64, 0, rows)
-	}
-	buf := make([]byte, width)
-	dims := make([]int32, schema.NumDims())
-	meas := make([]float64, schema.NumMeasures())
-	for i := int64(0); i < rows; i++ {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("relation: %s: row %d: %w", path, i, err)
-		}
-		decodeRow(buf, dims, meas)
-		if hasIDs {
-			t.AppendWithRowID(dims, meas, int64(binary.LittleEndian.Uint64(buf[schema.RowWidth():])))
-		} else {
-			t.Append(dims, meas)
-		}
-	}
-	return t, nil
+	return LoadFactRows(path, -1)
 }
 
 // FactReader provides O(1) random access to rows of a fact file by row-id

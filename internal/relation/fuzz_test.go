@@ -1,0 +1,113 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// headerBytes serializes a valid header for seeding the fuzzer.
+func headerBytes(t testing.TB, s *Schema, rows int64, flags uint16) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, s, rows, flags); err != nil {
+		t.Fatalf("writeHeader: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFactHeader throws arbitrary bytes at the fact-file header parser.
+// The invariant is totality: corrupt input — truncated headers, bad
+// magic or version, oversized name lengths, negative row counts,
+// degenerate schemas — must come back as an error, never a panic, and
+// whatever parses must itself be a valid schema.
+func FuzzFactHeader(f *testing.F) {
+	s := &Schema{DimNames: []string{"a", "bb", "ccc"}, MeasureNames: []string{"x"}}
+	valid := headerBytes(f, s, 42, 0)
+	f.Add(valid)
+	f.Add(headerBytes(f, s, 0, flagRowIDs))
+	// Every truncation point of a valid header.
+	for i := 0; i < len(valid); i += 3 {
+		f.Add(valid[:i])
+	}
+	// Bad magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+	// Bad version.
+	bad = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(bad[4:], 99)
+	f.Add(bad)
+	// Negative row count.
+	bad = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(bad[12:], 1<<63)
+	f.Add(bad)
+	// Oversized name length pointing past the buffer.
+	bad = append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(bad[20:], 0xffff)
+	f.Add(bad)
+	// Zero dims (invalid schema) and absurd dim counts.
+	bad = headerBytes(f, s, 1, 0)
+	binary.LittleEndian.PutUint16(bad[8:], 0)
+	f.Add(bad)
+	bad = headerBytes(f, s, 1, 0)
+	binary.LittleEndian.PutUint16(bad[8:], 0xffff)
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, rows, _, err := readHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rows < 0 {
+			t.Fatalf("parser accepted negative row count %d", rows)
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid schema: %v", verr)
+		}
+	})
+}
+
+// FuzzOpenFactReader runs the same corpus through the file-open path,
+// which additionally sizes the data region against the real file.
+func FuzzOpenFactReader(f *testing.F) {
+	s := &Schema{DimNames: []string{"a", "b"}, MeasureNames: []string{"m"}}
+	ft := NewFactTable(s, 4)
+	for i := 0; i < 4; i++ {
+		ft.Append([]int32{int32(i), int32(i * 2)}, []float64{float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, s, 4, 0); err != nil {
+		f.Fatalf("writeHeader: %v", err)
+	}
+	row := make([]byte, s.RowWidth())
+	dims := make([]int32, 2)
+	meas := make([]float64, 1)
+	for r := 0; r < 4; r++ {
+		dims[0], dims[1] = ft.Dims[0][r], ft.Dims[1][r]
+		meas[0] = ft.Measures[0][r]
+		encodeRow(row, dims, meas)
+		buf.Write(row)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)-5]) // truncated data region
+	f.Add(whole[:10])           // truncated header
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		fr, err := OpenFactReader(path)
+		if err != nil {
+			return
+		}
+		defer fr.Close()
+		// Whatever opened must scan without panicking; read errors are fine.
+		_ = fr.ScanBatches(0, fr.Rows(), 0, func(*Batch) error { return nil })
+	})
+}

@@ -129,12 +129,17 @@ func Apply(opts Options) (*Stats, error) {
 		return nil, err
 	}
 	factRows := firstID + int64(opts.Delta.Len())
-	// Load the extended fact table once: the merge re-projects a source
-	// row per singleton tuple, which would otherwise be one random read
-	// each (the merge is an in-memory pass, like the builds it replaces).
-	fact, err := relation.ReadFactFile(factPath)
+	// Load the extended fact table once through the chunked scan path: the
+	// merge re-projects a source row per singleton tuple, which would
+	// otherwise be one random read each (the merge is an in-memory pass,
+	// like the builds it replaces). Loading exactly factRows also shields
+	// the merge from rows appended concurrently after ours.
+	fact, err := relation.LoadFactRows(factPath, factRows)
 	if err != nil {
 		return nil, err
+	}
+	if int64(fact.Len()) < factRows {
+		return nil, fmt.Errorf("update: extended fact file holds %d rows, want %d", fact.Len(), factRows)
 	}
 
 	w, err := storage.NewWriter(storage.Options{
