@@ -132,4 +132,52 @@ func cmdInspect(args []string) {
 		"", "TOTAL", "", "", totRaw, totEnc, ratio(totRaw, totEnc))
 	fmt.Printf("cube bytes on disk: %d\n", m.Sizes.Total())
 	fmt.Printf("overall ratio: %s\n", ratio(totRaw, totEnc))
+
+	// Finalize sidecar, when the cube carries one (older cubes don't):
+	// per-sub-phase wall clocks, the pipeline's worker count, the codec
+	// histogram, and the sampled-selection hit rate.
+	st, err := storage.ReadFinalizeStats(*cube)
+	if err != nil {
+		return
+	}
+	fmt.Printf("\nfinalize (%s, parallelism %d, %d worker(s)):\n",
+		orNone(st.Compression), st.Parallelism, st.Workers)
+	phase := func(name string, sec float64) {
+		if sec > 0 {
+			fmt.Printf("  %-10s %8.3fs\n", name, sec)
+		}
+	}
+	phase("compact", st.CompactSec)
+	phase("compress", st.CompressSec)
+	phase("zones", st.ZonesSec)
+	phase("commit", st.CommitSec)
+	if st.Extents > 0 {
+		fmt.Printf("  extents=%d blocks=%d reread_bytes=%d commit_stalls=%d\n",
+			st.Extents, st.Blocks, st.RereadBytes, st.CommitStalls)
+	}
+	if len(st.Encodings) > 0 {
+		keys := make([]string, 0, len(st.Encodings))
+		for k := range st.Encodings {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s:%d", k, st.Encodings[k]))
+		}
+		fmt.Printf("  codec histogram: %s\n", strings.Join(parts, " "))
+	}
+	if st.SampledBlocks+st.Mispredicts > 0 {
+		fmt.Printf("  sampled column-blocks: %d, mispredicts: %d (%.1f%%)\n",
+			st.SampledBlocks, st.Mispredicts,
+			100*float64(st.Mispredicts)/float64(st.SampledBlocks+st.Mispredicts))
+	}
+}
+
+// orNone renders an empty compression mode as "none".
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
 }

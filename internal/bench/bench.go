@@ -236,6 +236,7 @@ func (h *Harness) experiments() map[string]experiment {
 		"ablation-plan":        {"ablation-plan", "Shared hierarchical plan vs independent sub-cubes", (*Harness).runPlanAblation},
 		"query-throughput":     {"throughput", "Concurrent query serving: QPS/latency, zone maps vs full scans", (*Harness).runThroughput},
 		"partition-throughput": {"partition", "Partitioning phase: batched parallel scan vs row-at-a-time", (*Harness).runPartitionThroughput},
+		"finalize-throughput":  {"finalize", "Finalize pipeline: parallel fused compression + zone maps", (*Harness).runFinalizeThroughput},
 	}
 }
 

@@ -76,6 +76,12 @@ type Options struct {
 	// statistics — the formats differ only in size, never in
 	// correctness.
 	Parallelism int
+	// FinalizeParallelism overrides the worker cap of the finalize extent
+	// pipeline (compression + fused zone maps). 0 inherits Parallelism;
+	// ≤0 otherwise means sequential. The finalized cube is byte-identical
+	// at every setting — the knob exists so benchmarks and tests can vary
+	// finalize concurrency while holding the build itself fixed.
+	FinalizeParallelism int
 	// ScanBatchRows overrides the partitioner's decode batch size in
 	// rows (≤ 0 picks enough rows for ~1 MB of raw data).
 	ScanBatchRows int
@@ -92,7 +98,10 @@ type Options struct {
 	// Compression selects the extent storage format: "" or "none" keeps
 	// the fixed-width v1 layout, "auto" rewrites every extent into
 	// compressed columnar blocks at Finalize (block granularity = the
-	// effective ZoneBlockRows, so zone pruning skips whole blocks).
+	// effective ZoneBlockRows, so zone pruning skips whole blocks), and
+	// "sampled" is the same format with sampled codec selection (the
+	// codec of a column is predicted from its first few blocks, with
+	// exact brute force as the fallback).
 	Compression string
 	// TempDir holds partition files (default: Dir/tmp).
 	TempDir string
@@ -208,6 +217,17 @@ func Build(opts Options) (*BuildStats, error) {
 	if opts.ShortPlan && !inMemory {
 		return nil, errors.New("core: ShortPlan (P2 ablation) supports in-memory builds only")
 	}
+	lim := newParLimiter(opts.Parallelism)
+	finPar := opts.FinalizeParallelism
+	if finPar == 0 {
+		finPar = opts.Parallelism
+	}
+	var finPool storage.WorkerPool
+	if lim != nil {
+		// Finalize workers draw from the same build-wide limiter as every
+		// other parallel site.
+		finPool = limiterPool{lim}
+	}
 	w, err := storage.NewWriter(storage.Options{
 		Dir:           opts.Dir,
 		Hier:          effHier,
@@ -221,6 +241,8 @@ func Build(opts Options) (*BuildStats, error) {
 		Iceberg:       opts.Iceberg,
 		ZoneBlockRows: opts.ZoneBlockRows,
 		Compression:   opts.Compression,
+		Parallelism:   finPar,
+		Pool:          finPool,
 		Metrics:       reg,
 	})
 	if err != nil {
@@ -250,7 +272,6 @@ func Build(opts Options) (*BuildStats, error) {
 	pool.ForceFormat = opts.ForceFormat
 	pool.Metrics = reg
 
-	lim := newParLimiter(opts.Parallelism)
 	if lim != nil {
 		// Concurrent workers append through the shared writer.
 		w.Lock()
@@ -272,6 +293,7 @@ func Build(opts Options) (*BuildStats, error) {
 	}
 	flushSpan.End()
 	finSpan := root.Child("finalize")
+	w.SetFinalizeSpan(finSpan)
 	m, err := w.Finalize(pool.Format())
 	if err != nil {
 		return nil, err

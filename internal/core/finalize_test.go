@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cure/internal/relation"
+	"cure/internal/storage"
+)
+
+// readCubeFiles loads a cube's extent files and manifest keyed by name
+// (the finalize sidecar is excluded — it records wall clocks, which
+// legitimately vary run to run).
+func readCubeFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{
+		storage.NTFile, storage.TTFile, storage.CATFile,
+		storage.AggFile, storage.BitmapFile, storage.ManifestFile,
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestFinalizeParallelismByteIdentity is the end-to-end contract of the
+// finalize pipeline: with the construction phase held sequential, any
+// FinalizeParallelism must produce byte-identical extent files and
+// manifests — across the flat, hierarchical, and pair-partitioned build
+// paths, for both exact and sampled codec selection. Run with -race this
+// doubles as the pipeline's data-race regression test over real builds
+// (including CURE_DR's shared paged resolver).
+func TestFinalizeParallelismByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		mode string
+		opts Options
+		seed int64
+		pair bool
+		rows int
+	}{
+		{name: "hierarchical", mode: storage.CompressionAuto, opts: Options{AggSpecs: testSpecs()}, seed: 7, rows: 1500},
+		{name: "hierarchical-sampled", mode: storage.CompressionSampled, opts: Options{AggSpecs: testSpecs()}, seed: 7, rows: 1500},
+		{name: "flat", mode: storage.CompressionAuto, opts: Options{AggSpecs: testSpecs(), Flat: true}, seed: 8, rows: 1500},
+		{name: "pair-partitioned", mode: storage.CompressionAuto, opts: Options{AggSpecs: testSpecs(), MemoryBudget: 5_600}, seed: 27, pair: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Compression = tc.mode
+			opts.Parallelism = 1
+			if tc.pair {
+				opts.Hier = pairHier(t)
+			} else {
+				opts.Hier = paperHier(t)
+			}
+			ft := pairEquivFact(t, tc.seed)
+			if !tc.pair {
+				ft = randomFact(t, tc.rows, tc.seed)
+			}
+
+			// One shared fact file: the manifest embeds its path, and the
+			// byte comparison must only see finalize-pipeline effects.
+			base := t.TempDir()
+			factPath := filepath.Join(base, "fact.bin")
+			if err := relation.WriteFactFile(factPath, ft); err != nil {
+				t.Fatal(err)
+			}
+			opts.FactPath = factPath
+
+			var ref map[string][]byte
+			for _, p := range []int{1, 2, 8} {
+				opts.FinalizeParallelism = p
+				cube := filepath.Join(base, "cube-fp"+string(rune('0'+p)))
+				opts.Dir = cube
+				if _, err := Build(opts); err != nil {
+					t.Fatal(err)
+				}
+				got := readCubeFiles(t, cube)
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("FinalizeParallelism=%d: %d files, want %d", p, len(got), len(ref))
+				}
+				for name, want := range ref {
+					if !bytes.Equal(got[name], want) {
+						t.Errorf("FinalizeParallelism=%d: %s differs from sequential finalize", p, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFinalizeSidecarFromBuild checks the wiring end to end: a core build
+// leaves a finalize sidecar recording the configured parallelism and the
+// fused pass's volume, and FinalizeParallelism=0 inherits Parallelism.
+func TestFinalizeSidecarFromBuild(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Hier: paperHier(t), AggSpecs: testSpecs(),
+		Compression: storage.CompressionAuto, Parallelism: 4,
+	}
+	buildAt(t, dir, randomFact(t, 1200, 5), opts)
+	st, err := storage.ReadFinalizeStats(filepath.Join(dir, "cube"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallelism != 4 {
+		t.Errorf("sidecar parallelism = %d, want 4 (inherited from Options.Parallelism)", st.Parallelism)
+	}
+	if st.Compression != storage.CompressionAuto {
+		t.Errorf("sidecar compression = %q", st.Compression)
+	}
+	if st.Extents == 0 || st.Blocks == 0 {
+		t.Errorf("sidecar records no pipeline volume: %+v", st)
+	}
+	if st.CompactSec <= 0 && st.CompressSec <= 0 {
+		t.Errorf("sidecar records no finalize wall clock: %+v", st)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"cure/internal/relation"
 	"cure/internal/storage"
 )
@@ -16,18 +18,23 @@ const resolverMaxPages = 256
 // newPagedResolver wraps a fact reader in a read-through page cache,
 // serving base dimension codes by row-id. It exists for out-of-core
 // CURE_DR builds, whose compaction step dereferences one fact row per
-// normal tuple.
+// normal tuple. The resolver is mutex-guarded: parallel finalize workers
+// fold zone maps concurrently, and the cache (pages map, eviction order,
+// measure scratch) is shared state.
 func newPagedResolver(fr *relation.FactReader) storage.DimResolver {
 	type page struct {
 		id   int64
 		data []byte
 	}
+	var mu sync.Mutex
 	pages := map[int64]*page{}
 	var order []int64
 	rowWidth := fr.RowWidth()
 	numDims := fr.Schema().NumDims()
 	meas := make([]float64, fr.Schema().NumMeasures())
 	return func(rrowid int64, dst []int32) error {
+		mu.Lock()
+		defer mu.Unlock()
 		pid := rrowid / resolverPageRows
 		p, ok := pages[pid]
 		if !ok {

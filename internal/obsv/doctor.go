@@ -157,6 +157,7 @@ func (b *Bundle) WriteReport(w io.Writer) error {
 	b.reportMemory(bw)
 	b.reportRates(bw)
 	b.reportPartition(bw)
+	b.reportFinalize(bw)
 	b.reportQueries(bw)
 	b.reportGoroutines(bw)
 
@@ -283,6 +284,36 @@ func (b *Bundle) reportPartition(w io.Writer) {
 			fmt.Fprintf(w, "note: %d%% of flushes stalled on a writer lock — partitions are too few or too hot for this worker count\n",
 				stalls*100/flushes)
 		}
+	}
+}
+
+// reportFinalize renders the finalize extent pipeline: worker count and
+// raw-byte skew across workers, extent/block volume, the sampled-codec
+// hit rate, and how many bytes the pass re-read from finalized files
+// (≈0 when zone maps were fused into the compression scan).
+func (b *Bundle) reportFinalize(w io.Writer) {
+	if b.Metrics == nil {
+		return
+	}
+	extents := b.Metrics.Counters["storage.finalize.extents"]
+	if extents == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n## Finalize\n")
+	fmt.Fprintf(w, "workers=%d extents=%d blocks=%d reread=%s commit_stalls=%d\n",
+		b.Metrics.Gauges["storage.finalize.workers"], extents,
+		b.Metrics.Counters["storage.finalize.blocks"],
+		fmtBytes(b.Metrics.Counters["storage.finalize.reread_bytes"]),
+		b.Metrics.Counters["storage.finalize.commit_stalls"])
+	if mean := b.Metrics.Gauges["storage.finalize.skew.mean_bytes"]; mean > 0 {
+		max := b.Metrics.Gauges["storage.finalize.skew.max_bytes"]
+		fmt.Fprintf(w, "raw bytes/worker mean=%s max=%s (skew ×%.2f)\n",
+			fmtBytes(mean), fmtBytes(max), float64(max)/float64(mean))
+	}
+	if sampled := b.Metrics.Counters["storage.finalize.sampled_blocks"]; sampled > 0 {
+		mis := b.Metrics.Counters["storage.finalize.mispredicts"]
+		fmt.Fprintf(w, "sampled column-blocks=%d mispredicts=%d (%.1f%% of fast-path attempts)\n",
+			sampled, mis, 100*float64(mis)/float64(sampled+mis))
 	}
 }
 

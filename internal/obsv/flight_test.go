@@ -349,3 +349,53 @@ func json503(t *testing.T, url string) (int, string) {
 	}
 	return code, body
 }
+
+// TestDoctorFinalizeSection drives reportFinalize through a bundle whose
+// metrics carry the finalize pipeline's counters and gauges, and checks
+// the section stays silent when no finalize ran.
+func TestDoctorFinalizeSection(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("storage.finalize.extents").Add(12)
+	r.Counter("storage.finalize.blocks").Add(340)
+	r.Counter("storage.finalize.reread_bytes").Add(2048)
+	r.Counter("storage.finalize.commit_stalls").Add(3)
+	r.Counter("storage.finalize.sampled_blocks").Add(90)
+	r.Counter("storage.finalize.mispredicts").Add(10)
+	r.Gauge("storage.finalize.workers").Set(4)
+	r.Gauge("storage.finalize.skew.mean_bytes").Set(1 << 20)
+	r.Gauge("storage.finalize.skew.max_bytes").Set(3 << 20)
+	f := NewFlightRecorder(t.TempDir(), r)
+	b, err := ReadBundle(f.Trigger("test", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := b.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rep := sb.String()
+	for _, want := range []string{
+		"## Finalize",
+		"workers=4 extents=12 blocks=340 reread=2.0KiB commit_stalls=3",
+		"raw bytes/worker mean=1.00MiB max=3.00MiB (skew ×3.00)",
+		"sampled column-blocks=90 mispredicts=10 (10.0% of fast-path attempts)",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+
+	// No finalize counters → no section.
+	quiet := NewFlightRecorder(t.TempDir(), NewRegistry())
+	bq, err := ReadBundle(quiet.Trigger("test", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := bq.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "## Finalize") {
+		t.Error("Finalize section rendered without finalize metrics")
+	}
+}

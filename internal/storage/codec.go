@@ -46,8 +46,15 @@ const (
 	// CompressionNone leaves extents in the fixed-width v1 layout.
 	CompressionNone = "none"
 	// CompressionAuto enables the block-columnar codec with per-column
-	// cheapest-encoding selection.
+	// cheapest-encoding selection (exact brute force on every block).
 	CompressionAuto = "auto"
+	// CompressionSampled enables the codec with sampled selection: the
+	// first DefaultSampleBlocks blocks of each column are brute-forced;
+	// when they agree on a codec, later blocks encode only that codec and
+	// fall back to the exact brute force when the prediction loses to
+	// raw. The on-disk format is identical to "auto" — only which codec
+	// wins a given block may differ.
+	CompressionSampled = "sampled"
 )
 
 // compressionEnabled maps an Options.Compression string to a decision;
@@ -56,7 +63,7 @@ func compressionEnabled(mode string) (bool, error) {
 	switch mode {
 	case "", CompressionNone:
 		return false, nil
-	case CompressionAuto, "block":
+	case CompressionAuto, "block", CompressionSampled:
 		return true, nil
 	}
 	return false, fmt.Errorf("storage: unknown compression mode %q", mode)
@@ -500,6 +507,17 @@ func decodeRawF64(src []byte, dst []float64) error {
 
 // --- block encode / decode ------------------------------------------------
 
+// DefaultSampleBlocks is the per-column sampling window of the
+// "sampled" mode: how many leading blocks are brute-forced before the
+// encoder commits to a predicted codec.
+const DefaultSampleBlocks = 4
+
+// Prediction sentinels of the sampled selector (real tags are < 0x80).
+const (
+	predUnset byte = 0xFE // no sampled block seen yet
+	predNone  byte = 0xFF // sampled blocks disagreed: stay exact
+)
+
 // blockEncoder turns row-major fixed-width rows into encoded blocks,
 // reusing its gather and candidate buffers across blocks.
 type blockEncoder struct {
@@ -516,6 +534,16 @@ type blockEncoder struct {
 	tags     []byte
 	payloads [][]byte
 	bufs     [][]byte // retained payload buffers, one per column
+
+	// Sampled selection state: during the first sampleLeft blocks each
+	// column's brute-force winners vote on predicted[c]; afterwards the
+	// fast path encodes only the predicted codec, falling back to the
+	// exact brute force when the prediction loses to raw.
+	sampled       bool
+	sampleLeft    int
+	predicted     []byte
+	sampledBlocks int64 // column-blocks taken by the fast path
+	mispredicts   int64 // fast-path encodes beaten by raw, re-brute-forced
 }
 
 func newBlockEncoder(kinds []colKind) *blockEncoder {
@@ -533,6 +561,23 @@ func newBlockEncoder(kinds []colKind) *blockEncoder {
 	return be
 }
 
+// newSampledBlockEncoder returns an encoder whose codec selection is
+// predicted from the column's first sampleBlocks blocks (≤0 means
+// DefaultSampleBlocks).
+func newSampledBlockEncoder(kinds []colKind, sampleBlocks int) *blockEncoder {
+	be := newBlockEncoder(kinds)
+	if sampleBlocks <= 0 {
+		sampleBlocks = DefaultSampleBlocks
+	}
+	be.sampled = true
+	be.sampleLeft = sampleBlocks
+	be.predicted = make([]byte, len(kinds))
+	for i := range be.predicted {
+		be.predicted[i] = predUnset
+	}
+	return be
+}
+
 // pick chooses the shorter of the current best (tag, payload in bufs[c])
 // and the candidate in be.cand, leaving the winner in bufs[c].
 func (be *blockEncoder) pick(c int, tag byte) {
@@ -541,6 +586,127 @@ func (be *blockEncoder) pick(c int, tag byte) {
 		be.bufs[c] = append(be.bufs[c][:0], be.cand...)
 		be.payloads[c] = be.bufs[c]
 	}
+}
+
+// accept takes the candidate in be.cand as column c's encoding without
+// comparing alternatives — the sampled fast path.
+func (be *blockEncoder) accept(c int, tag byte) {
+	be.tags[c] = tag
+	be.bufs[c] = append(be.bufs[c][:0], be.cand...)
+	be.payloads[c] = be.bufs[c]
+	be.sampledBlocks++
+}
+
+// fastTag returns column c's predicted codec once the sampling window
+// closed with a unanimous vote.
+func (be *blockEncoder) fastTag(c int) (byte, bool) {
+	if !be.sampled || be.sampleLeft > 0 {
+		return 0, false
+	}
+	t := be.predicted[c]
+	return t, t < predUnset
+}
+
+// vote folds column c's brute-force winner into its prediction while the
+// sampling window is open.
+func (be *blockEncoder) vote(c int) {
+	if !be.sampled || be.sampleLeft == 0 {
+		return
+	}
+	switch {
+	case be.predicted[c] == predUnset:
+		be.predicted[c] = be.tags[c]
+	case be.predicted[c] != be.tags[c]:
+		be.predicted[c] = predNone
+	}
+}
+
+// encodeI64Col selects and retains column c's encoding of vals.
+func (be *blockEncoder) encodeI64Col(c int, vals []int64) {
+	if tag, ok := be.fastTag(c); ok {
+		switch tag {
+		case encRaw:
+			be.cand = encodeRaw64(be.cand[:0], vals)
+			be.accept(c, encRaw)
+			return
+		case encDelta:
+			be.cand = encodeDelta64(be.cand[:0], vals)
+			if len(be.cand) < 8*len(vals) {
+				be.accept(c, encDelta)
+				return
+			}
+		}
+		be.mispredicts++
+	}
+	be.cand = encodeRaw64(be.cand[:0], vals)
+	be.pick(c, encRaw)
+	be.cand = encodeDelta64(be.cand[:0], vals)
+	be.pick(c, encDelta)
+	be.vote(c)
+}
+
+// encodeI32Col selects and retains column c's encoding of vals.
+func (be *blockEncoder) encodeI32Col(c int, vals []int32) {
+	if tag, ok := be.fastTag(c); ok {
+		switch tag {
+		case encRaw:
+			be.cand = encodeRaw32(be.cand[:0], vals)
+			be.accept(c, encRaw)
+			return
+		case encBitpack:
+			be.cand = encodeBitpack32(be.cand[:0], vals)
+		case encRLE:
+			be.cand = encodeRLE32(be.cand[:0], vals)
+		}
+		if len(be.cand) < 4*len(vals) {
+			be.accept(c, tag)
+			return
+		}
+		be.mispredicts++
+	}
+	be.cand = encodeRaw32(be.cand[:0], vals)
+	be.pick(c, encRaw)
+	be.cand = encodeBitpack32(be.cand[:0], vals)
+	be.pick(c, encBitpack)
+	be.cand = encodeRLE32(be.cand[:0], vals)
+	be.pick(c, encRLE)
+	be.vote(c)
+}
+
+// encodeF64Col selects and retains column c's encoding of vals. intOK
+// reports whether every value survives the intfloat round-trip.
+func (be *blockEncoder) encodeF64Col(c int, vals []float64, intOK bool) {
+	if tag, ok := be.fastTag(c); ok {
+		valid := true
+		switch tag {
+		case encRaw:
+			be.cand = encodeRawF64(be.cand[:0], vals)
+			be.accept(c, encRaw)
+			return
+		case encRLE:
+			be.cand = encodeRLEF64(be.cand[:0], vals)
+		case encIntFloat:
+			if intOK {
+				be.cand = encodeIntFloat(be.cand[:0], vals)
+			} else {
+				valid = false
+			}
+		}
+		if valid && len(be.cand) < 8*len(vals) {
+			be.accept(c, tag)
+			return
+		}
+		be.mispredicts++
+	}
+	be.cand = encodeRawF64(be.cand[:0], vals)
+	be.pick(c, encRaw)
+	be.cand = encodeRLEF64(be.cand[:0], vals)
+	be.pick(c, encRLE)
+	if intOK {
+		be.cand = encodeIntFloat(be.cand[:0], vals)
+		be.pick(c, encIntFloat)
+	}
+	be.vote(c)
 }
 
 // encodeBlock appends the encoded form of rows[0:n] (row-major, be.width
@@ -558,10 +724,7 @@ func (be *blockEncoder) encodeBlock(rows []byte, n int, dst []byte) []byte {
 			for i := range vals {
 				vals[i] = int64(binary.LittleEndian.Uint64(rows[i*be.width+off:]))
 			}
-			be.cand = encodeRaw64(be.cand[:0], vals)
-			be.pick(c, encRaw)
-			be.cand = encodeDelta64(be.cand[:0], vals)
-			be.pick(c, encDelta)
+			be.encodeI64Col(c, vals)
 		case colI32:
 			if cap(be.i32) < n {
 				be.i32 = make([]int32, n)
@@ -570,12 +733,7 @@ func (be *blockEncoder) encodeBlock(rows []byte, n int, dst []byte) []byte {
 			for i := range vals {
 				vals[i] = int32(binary.LittleEndian.Uint32(rows[i*be.width+off:]))
 			}
-			be.cand = encodeRaw32(be.cand[:0], vals)
-			be.pick(c, encRaw)
-			be.cand = encodeBitpack32(be.cand[:0], vals)
-			be.pick(c, encBitpack)
-			be.cand = encodeRLE32(be.cand[:0], vals)
-			be.pick(c, encRLE)
+			be.encodeI32Col(c, vals)
 		case colF64:
 			if cap(be.f64) < n {
 				be.f64 = make([]float64, n)
@@ -586,15 +744,11 @@ func (be *blockEncoder) encodeBlock(rows []byte, n int, dst []byte) []byte {
 				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rows[i*be.width+off:]))
 				intOK = intOK && intFloatOK(vals[i])
 			}
-			be.cand = encodeRawF64(be.cand[:0], vals)
-			be.pick(c, encRaw)
-			be.cand = encodeRLEF64(be.cand[:0], vals)
-			be.pick(c, encRLE)
-			if intOK {
-				be.cand = encodeIntFloat(be.cand[:0], vals)
-				be.pick(c, encIntFloat)
-			}
+			be.encodeF64Col(c, vals, intOK)
 		}
+	}
+	if be.sampleLeft > 0 {
+		be.sampleLeft--
 	}
 	dst = appendUvarint(dst, uint64(n))
 	for c := range be.kinds {

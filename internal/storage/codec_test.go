@@ -126,7 +126,7 @@ func TestCodecRowCountMismatchRejected(t *testing.T) {
 }
 
 func TestCompressionModeValidation(t *testing.T) {
-	for _, mode := range []string{"", "none", "auto", "block"} {
+	for _, mode := range []string{"", "none", "auto", "block", "sampled"} {
 		if _, err := compressionEnabled(mode); err != nil {
 			t.Errorf("mode %q rejected: %v", mode, err)
 		}
@@ -312,5 +312,75 @@ func TestCompressedExtentCodecMetadata(t *testing.T) {
 				t.Errorf("node %s: empty codec record %+v", k, c)
 			}
 		}
+	}
+}
+
+// benchRows builds n rows of the mixed <i64, i32, f64> extent schema with
+// realistic shapes: sorted row-ids, low-cardinality codes, small-integer
+// aggregates (delta, bitpack, and intfloat all in play).
+func benchRows(n int) ([]colKind, []byte, int) {
+	kinds := []colKind{colI64, colI32, colF64}
+	width := 8 + 4 + 8
+	rows := make([]byte, n*width)
+	for i := 0; i < n; i++ {
+		rec := rows[i*width:]
+		putInt64(rec, int64(i)*3)
+		putDims(rec[8:], []int32{int32(i % 7)})
+		putAggrs(rec[12:], []float64{float64(i % 100)})
+	}
+	return kinds, rows, width
+}
+
+func BenchmarkBlockEncode(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		mk   func(kinds []colKind) *blockEncoder
+	}{
+		{"exact", func(kinds []colKind) *blockEncoder { return newBlockEncoder(kinds) }},
+		{"sampled", func(kinds []colKind) *blockEncoder { return newSampledBlockEncoder(kinds, 1) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			const n = 256
+			kinds, rows, width := benchRows(n)
+			be := bc.mk(kinds)
+			enc := be.encodeBlock(rows, n, nil)
+			b.ReportAllocs()
+			b.SetBytes(int64(n * width))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc = be.encodeBlock(rows, n, enc[:0])
+			}
+			_ = enc
+		})
+	}
+}
+
+// TestBlockEncodeSteadyStateAllocs pins the encoder's steady state at
+// zero allocations per block: every gather buffer, candidate buffer, and
+// payload buffer must be recycled once warmed up. A regression here
+// multiplies across every block of every extent of a finalize pass.
+func TestBlockEncodeSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		be   func(kinds []colKind) *blockEncoder
+	}{
+		{"exact", func(kinds []colKind) *blockEncoder { return newBlockEncoder(kinds) }},
+		{"sampled", func(kinds []colKind) *blockEncoder { return newSampledBlockEncoder(kinds, 1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 256
+			kinds, rows, _ := benchRows(n)
+			be := tc.be(kinds)
+			var enc []byte
+			for i := 0; i < 4; i++ { // warm up buffers and close the sampling window
+				enc = be.encodeBlock(rows, n, enc[:0])
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				enc = be.encodeBlock(rows, n, enc[:0])
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state encodeBlock allocates %.1f times per block, want 0", allocs)
+			}
+		})
 	}
 }

@@ -1,112 +1,28 @@
 package storage
 
 import (
-	"bufio"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"cure/internal/lattice"
+	"cure/internal/signature"
 )
 
 // compressExtents rewrites the compacted relation files (nt.bin, tt.bin,
 // cat.bin, agg.bin) into the block-columnar format, updating each
-// NodeMeta's extent offset and attaching its ExtentCodec. Each file is
-// rewritten into a sibling temp file and renamed over the original, so a
-// crash mid-pass leaves either the old or the new file, never a mix.
-// Bitmap TT extents (ttbm.bin) are untouched — a bitmap is already a
-// compressed form — and rebuilding tt.bin drops the dead extents bitmap
-// conversion left behind.
-func (w *Writer) compressExtents(m *Manifest) error {
-	blockRows := int64(w.opts.ZoneBlockRows)
-	if blockRows <= 0 {
-		blockRows = DefaultZoneBlockRows
-	}
-	reg := w.opts.Metrics
-	cExtents := reg.Counter("storage.codec.extents")
-	cBlocks := reg.Counter("storage.codec.blocks")
-	cRawBytes := reg.Counter("storage.codec.raw_bytes")
-	cEncBytes := reg.Counter("storage.codec.encoded_bytes")
-
-	// extent is one unit of work: where the rows live now, their schema,
-	// and how to record the new location.
-	type extent struct {
-		off   int64
-		rows  int64
-		kinds []colKind
-		set   func(off int64, c *ExtentCodec)
-	}
-
-	rewrite := func(path string, exts []extent) error {
-		sort.Slice(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
-		in, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer in.Close()
-		tmp := path + ".z"
-		out, err := os.Create(tmp)
-		if err != nil {
-			return err
-		}
-		defer out.Close()
-		bw := bufio.NewWriterSize(out, 1<<20)
-		cursor := int64(0)
-		var raw, enc []byte
-		for _, e := range exts {
-			width := 0
-			for _, k := range e.kinds {
-				width += k.width()
-			}
-			size := e.rows * int64(width)
-			if int64(cap(raw)) < size {
-				raw = make([]byte, size)
-			}
-			raw = raw[:size]
-			if size > 0 {
-				if _, err := in.ReadAt(raw, e.off); err != nil {
-					return fmt.Errorf("storage: compress: reading extent at %d of %s: %w", e.off, path, err)
-				}
-			}
-			be := newBlockEncoder(e.kinds)
-			codec := &ExtentCodec{
-				BlockRows: blockRows,
-				RawBytes:  size,
-				Offs:      []int64{0},
-				Encodings: map[string]int64{},
-			}
-			enc = enc[:0]
-			for r0 := int64(0); r0 < e.rows; r0 += blockRows {
-				n := blockRows
-				if r0+n > e.rows {
-					n = e.rows - r0
-				}
-				enc = be.encodeBlock(raw[r0*int64(width):], int(n), enc)
-				codec.Offs = append(codec.Offs, int64(len(enc)))
-				for _, tag := range be.tags {
-					codec.Encodings[encName(tag)]++
-				}
-			}
-			if _, err := bw.Write(enc); err != nil {
-				return err
-			}
-			e.set(cursor, codec)
-			cursor += int64(len(enc))
-			cExtents.Inc()
-			cBlocks.Add(int64(codec.NumBlocks()))
-			cRawBytes.Add(size)
-			cEncBytes.Add(codec.EncodedBytes())
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-		if err := out.Close(); err != nil {
-			return err
-		}
-		return os.Rename(tmp, path)
-	}
-
+// NodeMeta's extent offset and attaching its ExtentCodec and zone map.
+// Extents are independent work items executed on the finalize pipeline
+// (see rewriteExtents): workers encode and index concurrently, the
+// ordered committer keeps the output byte-identical to a sequential
+// pass. Each file is rewritten into a sibling temp file and renamed over
+// the original. Bitmap TT extents (ttbm.bin) are untouched — a bitmap is
+// already a compressed form — and rebuilding tt.bin drops the dead
+// extents bitmap conversion left behind. agg.bin is rewritten before
+// cat.bin: the AGGREGATES pass captures its R-rowid column, which
+// format-(a) CAT zone maps dereference without re-reading the file.
+func (w *Writer) compressExtents(m *Manifest, fin *finState) error {
+	zc := fin.zcfg
 	keys := make([]string, 0, len(m.Nodes))
 	for k := range m.Nodes {
 		keys = append(keys, k)
@@ -114,7 +30,7 @@ func (w *Writer) compressExtents(m *Manifest) error {
 	sort.Strings(keys)
 
 	// NT: the schema varies per node under CURE_DR (arity int32 columns).
-	var ntExts []extent
+	var ntExts []extentJob
 	var levels []int
 	for _, k := range keys {
 		k := k
@@ -123,80 +39,98 @@ func (w *Writer) compressExtents(m *Manifest) error {
 			continue
 		}
 		arity := 0
+		zone := zoneSpec{mode: zoneRowID}
 		if m.DimsInline {
 			idNum, err := parseNodeKey(k)
 			if err != nil {
 				return err
 			}
 			levels = w.enum.Decode(idNum, levels)
+			// DR rows carry codes only at the node's own levels; the other
+			// zone slots stay unknown.
+			var slotIdx []int
 			for d, l := range levels {
 				if !w.opts.Hier.Dims[d].IsAll(l) {
 					arity++
+					if zc != nil {
+						slotIdx = append(slotIdx, zc.offs[d]+l)
+					}
 				}
 			}
+			zone = zoneSpec{mode: zoneSparse, slotIdx: slotIdx}
 		}
-		ntExts = append(ntExts, extent{
-			off: nm.NTOff, rows: nm.NTRows, kinds: m.ntKinds(arity),
-			set: func(off int64, c *ExtentCodec) {
+		ntExts = append(ntExts, extentJob{
+			off: nm.NTOff, rows: nm.NTRows, kinds: m.ntKinds(arity), zone: zone,
+			set: func(off int64, c *ExtentCodec, z *ZoneIndex) {
 				nm := m.Nodes[k]
-				nm.NTOff, nm.NTCodec = off, c
+				nm.NTOff, nm.NTCodec, nm.NTZones = off, c, z
 				m.Nodes[k] = nm
 			},
 		})
 	}
-	if err := rewrite(filepath.Join(w.opts.Dir, NTFile), ntExts); err != nil {
+	if err := w.rewriteExtents(filepath.Join(w.opts.Dir, NTFile), ntExts, fin); err != nil {
 		return err
 	}
 
-	var ttExts []extent
+	var ttExts []extentJob
 	for _, k := range keys {
 		k := k
 		nm := m.Nodes[k]
 		if nm.TTRows == 0 || nm.TTKind != TTIDs {
 			continue
 		}
-		ttExts = append(ttExts, extent{
+		ttExts = append(ttExts, extentJob{
 			off: nm.TTOff, rows: nm.TTRows, kinds: ttKinds(),
-			set: func(off int64, c *ExtentCodec) {
+			zone: zoneSpec{mode: zoneRowID},
+			set: func(off int64, c *ExtentCodec, z *ZoneIndex) {
 				nm := m.Nodes[k]
-				nm.TTOff, nm.TTCodec = off, c
+				nm.TTOff, nm.TTCodec, nm.TTZones = off, c, z
 				m.Nodes[k] = nm
 			},
 		})
 	}
-	if err := rewrite(filepath.Join(w.opts.Dir, TTFile), ttExts); err != nil {
+	if err := w.rewriteExtents(filepath.Join(w.opts.Dir, TTFile), ttExts, fin); err != nil {
 		return err
 	}
 
-	var catExts []extent
+	// AGGREGATES is one shared extent covering all AggRows rows. Under
+	// format (a) its leading column is the R-rowid the CAT pass resolves
+	// through, so capture it while the rows stream through the encoder.
+	var aggExts []extentJob
+	if m.AggRows > 0 {
+		aggExts = append(aggExts, extentJob{
+			off: 0, rows: m.AggRows, kinds: m.aggKinds(),
+			captureRowIDs: zc != nil && m.CatFormat == signature.FormatA,
+			set: func(off int64, c *ExtentCodec, z *ZoneIndex) {
+				m.AggCodec = c
+			},
+		})
+	}
+	if err := w.rewriteExtents(filepath.Join(w.opts.Dir, AggFile), aggExts, fin); err != nil {
+		return err
+	}
+
+	catZone := zoneSpec{mode: zoneRowID}
+	if m.CatFormat == signature.FormatA {
+		catZone = zoneSpec{mode: zoneAggRef}
+	}
+	var catExts []extentJob
 	for _, k := range keys {
 		k := k
 		nm := m.Nodes[k]
 		if nm.CATRows == 0 {
 			continue
 		}
-		catExts = append(catExts, extent{
-			off: nm.CATOff, rows: nm.CATRows, kinds: m.catKinds(),
-			set: func(off int64, c *ExtentCodec) {
+		catExts = append(catExts, extentJob{
+			off: nm.CATOff, rows: nm.CATRows, kinds: m.catKinds(), zone: catZone,
+			set: func(off int64, c *ExtentCodec, z *ZoneIndex) {
 				nm := m.Nodes[k]
-				nm.CATOff, nm.CATCodec = off, c
+				nm.CATOff, nm.CATCodec, nm.CATZones = off, c, z
 				m.Nodes[k] = nm
 			},
 		})
 	}
-	if err := rewrite(filepath.Join(w.opts.Dir, CATFile), catExts); err != nil {
-		return err
-	}
-
-	// AGGREGATES is one shared extent covering all AggRows rows.
-	var aggExts []extent
-	if m.AggRows > 0 {
-		aggExts = append(aggExts, extent{
-			off: 0, rows: m.AggRows, kinds: m.aggKinds(),
-			set: func(off int64, c *ExtentCodec) { m.AggCodec = c },
-		})
-	}
-	return rewrite(filepath.Join(w.opts.Dir, AggFile), aggExts)
+	return w.rewriteExtents(filepath.Join(w.opts.Dir, CATFile), catExts, fin)
 }
 
 // parseNodeKey parses a manifest node key back into a NodeID.

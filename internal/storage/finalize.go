@@ -1,0 +1,685 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cure/internal/bitmap"
+	"cure/internal/hierarchy"
+	"cure/internal/obsv"
+)
+
+// Finalize's extent pipeline. Compression (manifest v2) and zone-map
+// construction used to be two serial passes over the whole cube: encode
+// every extent, then re-read the finalized files through a Reader to
+// index them. Extents are independent — the same observation that makes
+// the cube's group-bys parallel makes its storage rewrite parallel — so
+// both are now one fused pass executed as concurrent work items: each
+// worker reads one extent's raw rows, picks codecs and encodes the
+// blocks into a private buffer, folds the very same rows into the
+// extent's zone map, and whoever holds the commit lock flushes every
+// ready prefix result to the temp file in ascending-offset order. The
+// ordered commit is what keeps the output byte-identical to the
+// sequential pass at every worker count; the fused zone fold is what
+// kills the second read of the cube.
+
+// WorkerPool grants extra worker slots from a build-wide limiter so the
+// finalize pipeline draws from the same concurrency budget as every
+// other parallel site (it mirrors partition.WorkerPool; core's shared
+// limiter satisfies both).
+type WorkerPool interface {
+	// TryAcquire claims one extra worker slot without blocking.
+	TryAcquire() bool
+	// Release returns a slot claimed by TryAcquire.
+	Release()
+}
+
+// FinalizeStatsFile is the sidecar file finalize telemetry is persisted
+// to. Timings can never live in the manifest: the manifest must stay
+// byte-identical across worker counts (and across runs of equal input).
+const FinalizeStatsFile = "finalize.json"
+
+// FinalizeStats is the persisted record of one Finalize run: sub-phase
+// wall clocks, pipeline volume, the codec histogram, the sampled-codec
+// hit rate, and how many bytes the pass re-read from files it had
+// already written (≈0 when zone construction is fused into the
+// compression scan).
+type FinalizeStats struct {
+	// Parallelism is the configured worker cap; Workers is what the
+	// pipeline actually got (pool grants can fall short on a busy build).
+	Parallelism int `json:"parallelism"`
+	Workers     int `json:"workers"`
+	// Compression is the writer's mode ("", "none", "auto", "sampled").
+	Compression string `json:"compression,omitempty"`
+
+	// Wall-clock seconds of the finalize sub-phases.
+	CompactSec  float64 `json:"compact_sec"`
+	CompressSec float64 `json:"compress_sec,omitempty"`
+	ZonesSec    float64 `json:"zones_sec,omitempty"`
+	CommitSec   float64 `json:"commit_sec"`
+
+	// CPU-time sums inside the fused pass; they overlap across workers,
+	// so they may exceed the CompressSec wall clock.
+	EncodeSec   float64 `json:"encode_sec,omitempty"`
+	ZoneFoldSec float64 `json:"zone_fold_sec,omitempty"`
+	WriteSec    float64 `json:"write_sec,omitempty"`
+
+	Extents   int64            `json:"extents"`
+	Blocks    int64            `json:"blocks"`
+	Encodings map[string]int64 `json:"encodings,omitempty"`
+	// SampledBlocks counts column-blocks encoded by the sampled fast
+	// path; Mispredicts counts the ones whose prediction lost to raw and
+	// fell back to the exact brute force.
+	SampledBlocks int64 `json:"sampled_blocks,omitempty"`
+	Mispredicts   int64 `json:"mispredicts,omitempty"`
+	ZoneExtents   int64 `json:"zone_extents"`
+	RereadBytes   int64 `json:"reread_bytes"`
+	CommitStalls  int64 `json:"commit_stalls"`
+
+	// WorkerRawBytes is the raw extent volume each worker slot processed
+	// (slot 0 is the calling goroutine) — the pipeline's skew record.
+	WorkerRawBytes []int64 `json:"worker_raw_bytes,omitempty"`
+}
+
+// WriteFinalizeStats persists the finalize sidecar of a cube directory.
+func WriteFinalizeStats(dir string, st *FinalizeStats) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, FinalizeStatsFile), append(data, '\n'), 0o644)
+}
+
+// ReadFinalizeStats loads the finalize sidecar of a cube directory.
+func ReadFinalizeStats(dir string) (*FinalizeStats, error) {
+	data, err := os.ReadFile(filepath.Join(dir, FinalizeStatsFile))
+	if err != nil {
+		return nil, err
+	}
+	st := &FinalizeStats{}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("storage: finalize sidecar: %w", err)
+	}
+	return st, nil
+}
+
+// zoneConfig is the zone-map layout of a build, nil when indexing is off
+// (negative ZoneBlockRows, no resolver, or a slot-less schema).
+type zoneConfig struct {
+	blockRows int
+	offs      []int
+	slots     int
+}
+
+func (w *Writer) zoneConfig() *zoneConfig {
+	blockRows := w.opts.ZoneBlockRows
+	if blockRows == 0 {
+		blockRows = DefaultZoneBlockRows
+	}
+	if blockRows < 0 || w.opts.Resolver == nil {
+		return nil
+	}
+	offs, slots := ZoneSlots(w.opts.Hier)
+	if slots == 0 {
+		return nil
+	}
+	return &zoneConfig{blockRows: blockRows, offs: offs, slots: slots}
+}
+
+// zoneResolver maps an R-rowid to codes at every dimension-level slot.
+// Each pipeline worker owns one; Options.Resolver must therefore be safe
+// for concurrent calls when Options.Parallelism > 1.
+type zoneResolver struct {
+	resolver DimResolver
+	hier     *hierarchy.Schema
+	offs     []int
+	baseDims []int32
+	codes    []int32
+}
+
+func newZoneResolver(resolver DimResolver, hier *hierarchy.Schema, zc *zoneConfig) *zoneResolver {
+	return &zoneResolver{
+		resolver: resolver,
+		hier:     hier,
+		offs:     zc.offs,
+		baseDims: make([]int32, hier.NumDims()),
+		codes:    make([]int32, zc.slots),
+	}
+}
+
+func (zr *zoneResolver) rowCodes(rrowid int64) ([]int32, error) {
+	if err := zr.resolver(rrowid, zr.baseDims); err != nil {
+		return nil, fmt.Errorf("storage: zone map: resolving row %d: %w", rrowid, err)
+	}
+	for d, dim := range zr.hier.Dims {
+		for l := 0; l < dim.AllLevel(); l++ {
+			zr.codes[zr.offs[d]+l] = dim.MapCode(zr.baseDims[d], l)
+		}
+	}
+	return zr.codes, nil
+}
+
+// zoneMode says how an extent's raw rows map to zone-map codes.
+type zoneMode uint8
+
+const (
+	zoneNone   zoneMode = iota
+	zoneRowID           // resolve the int64 R-rowid in column 0 (plain NT, TT ids, format-(b) CAT)
+	zoneSparse          // CURE_DR NT: the leading int32 columns are the node's own level codes
+	zoneAggRef          // format-(a) CAT: column 0 is an A-rowid into AGGREGATES
+)
+
+type zoneSpec struct {
+	mode    zoneMode
+	slotIdx []int
+}
+
+// extentJob is one unit of pipeline work: where the raw rows live, their
+// column schema, how the rows map to zone slots, and how to record the
+// new location once the ordered committer reaches it.
+type extentJob struct {
+	off, rows int64
+	kinds     []colKind
+	zone      zoneSpec
+	// captureRowIDs retains the extent's int64 column 0 — the AGGREGATES
+	// R-rowid column format-(a) CAT zone maps dereference, captured while
+	// agg.bin streams through the encoder instead of re-reading it.
+	captureRowIDs bool
+	set           func(off int64, c *ExtentCodec, z *ZoneIndex)
+}
+
+// extentResult is a processed extent waiting for its ordered commit.
+type extentResult struct {
+	enc              []byte
+	codec            *ExtentCodec
+	zone             *ZoneIndex
+	rowIDs           []int64
+	slot             int
+	encodeNs, zoneNs int64
+	sampledBlocks    int64
+	mispredicts      int64
+}
+
+// finState carries one Finalize run's pipeline state and metric bindings
+// across the per-file rewrites.
+type finState struct {
+	w    *Writer
+	mode string
+	zcfg *zoneConfig
+	// aggRRows is the R-rowid column of AGGREGATES under format (a), set
+	// by the committer when agg.bin's extent lands (agg.bin is rewritten
+	// before cat.bin exactly so the CAT zone fold finds it here).
+	aggRRows []int64
+
+	stats       FinalizeStats
+	workerBytes []int64
+
+	cExtents, cBlocks    *obsv.Counter // storage.codec.*
+	cRawBytes, cEncBytes *obsv.Counter
+	cFinExtents          *obsv.Counter
+	cFinBlocks           *obsv.Counter
+	cSampled, cMispred   *obsv.Counter
+	cReread, cStalls     *obsv.Counter
+	cZoneExts, cZoneBlks *obsv.Counter
+}
+
+func (w *Writer) newFinState() *finState {
+	reg := w.opts.Metrics
+	fin := &finState{
+		w:           w,
+		mode:        w.opts.Compression,
+		zcfg:        w.zoneConfig(),
+		cExtents:    reg.Counter("storage.codec.extents"),
+		cBlocks:     reg.Counter("storage.codec.blocks"),
+		cRawBytes:   reg.Counter("storage.codec.raw_bytes"),
+		cEncBytes:   reg.Counter("storage.codec.encoded_bytes"),
+		cFinExtents: reg.Counter("storage.finalize.extents"),
+		cFinBlocks:  reg.Counter("storage.finalize.blocks"),
+		cSampled:    reg.Counter("storage.finalize.sampled_blocks"),
+		cMispred:    reg.Counter("storage.finalize.mispredicts"),
+		cReread:     reg.Counter("storage.finalize.reread_bytes"),
+		cStalls:     reg.Counter("storage.finalize.commit_stalls"),
+		cZoneExts:   reg.Counter("storage.zone.extents"),
+		cZoneBlks:   reg.Counter("storage.zone.blocks"),
+	}
+	fin.stats.Parallelism = w.opts.Parallelism
+	if fin.stats.Parallelism < 1 {
+		fin.stats.Parallelism = 1
+	}
+	fin.stats.Workers = 1
+	fin.stats.Compression = w.opts.Compression
+	fin.stats.Encodings = map[string]int64{}
+	return fin
+}
+
+// codecBlockRows is the block granularity of the compression pass (and,
+// whenever zone maps are on, of the zone maps — they share it so pruning
+// skips whole codec blocks).
+func (fin *finState) codecBlockRows() int64 {
+	br := int64(fin.w.opts.ZoneBlockRows)
+	if br <= 0 {
+		br = DefaultZoneBlockRows
+	}
+	return br
+}
+
+// acquireWorkers grants the pipeline's worker count for one file: the
+// calling goroutine plus up to Parallelism-1 extras, drawn from the
+// build-wide pool when one is attached (finalize never oversubscribes a
+// parallel build's budget) or spawned freely otherwise.
+func (fin *finState) acquireWorkers(jobs int) (int, func()) {
+	want := fin.w.opts.Parallelism - 1
+	if want > jobs-1 {
+		want = jobs - 1
+	}
+	if want <= 0 {
+		return 1, func() {}
+	}
+	got := want
+	release := func() {}
+	if pool := fin.w.opts.Pool; pool != nil {
+		got = 0
+		for got < want && pool.TryAcquire() {
+			got++
+		}
+		n := got
+		release = func() {
+			for i := 0; i < n; i++ {
+				pool.Release()
+			}
+		}
+	}
+	if got+1 > fin.stats.Workers {
+		fin.stats.Workers = got + 1
+	}
+	return got + 1, release
+}
+
+// foldResult folds one committed extent into the run's counters and
+// stats. Called with the commit lock held, in commit order, so totals
+// are deterministic.
+func (fin *finState) foldResult(res *extentResult) {
+	nb := int64(res.codec.NumBlocks())
+	fin.cExtents.Inc()
+	fin.cBlocks.Add(nb)
+	fin.cRawBytes.Add(res.codec.RawBytes)
+	fin.cEncBytes.Add(res.codec.EncodedBytes())
+	fin.cFinExtents.Inc()
+	fin.cFinBlocks.Add(nb)
+	fin.cSampled.Add(res.sampledBlocks)
+	fin.cMispred.Add(res.mispredicts)
+	st := &fin.stats
+	st.Extents++
+	st.Blocks += nb
+	st.SampledBlocks += res.sampledBlocks
+	st.Mispredicts += res.mispredicts
+	st.EncodeSec += float64(res.encodeNs) / 1e9
+	st.ZoneFoldSec += float64(res.zoneNs) / 1e9
+	for name, n := range res.codec.Encodings {
+		st.Encodings[name] += n
+	}
+	for len(fin.workerBytes) <= res.slot {
+		fin.workerBytes = append(fin.workerBytes, 0)
+	}
+	fin.workerBytes[res.slot] += res.codec.RawBytes
+	if res.zone != nil {
+		fin.recordZone(res.zone)
+	}
+}
+
+func (fin *finState) recordZone(z *ZoneIndex) {
+	fin.cZoneExts.Inc()
+	fin.cZoneBlks.Add(int64(z.NumBlocks()))
+	fin.stats.ZoneExtents++
+}
+
+// finish publishes the worker-skew gauges and writes the sidecar.
+func (fin *finState) finish() error {
+	st := &fin.stats
+	st.WorkerRawBytes = fin.workerBytes
+	if reg := fin.w.opts.Metrics; reg != nil {
+		reg.Gauge("storage.finalize.workers").Set(int64(st.Workers))
+		if len(fin.workerBytes) > 0 {
+			var max, sum int64
+			for _, b := range fin.workerBytes {
+				sum += b
+				if b > max {
+					max = b
+				}
+			}
+			reg.Gauge("storage.finalize.skew.max_bytes").Set(max)
+			reg.Gauge("storage.finalize.skew.mean_bytes").Set(sum / int64(len(fin.workerBytes)))
+		}
+	}
+	return WriteFinalizeStats(fin.w.opts.Dir, st)
+}
+
+// finalizeWorker is one pipeline worker's scratch state, reused across
+// the extents the worker claims.
+type finalizeWorker struct {
+	raw    []byte
+	sparse []int32
+	zr     *zoneResolver
+}
+
+// processExtent reads one extent's raw rows, encodes its blocks into a
+// private buffer (recycled from committed results when possible), and
+// folds the same rows into the extent's zone map.
+func (w *Writer) processExtent(fw *finalizeWorker, in *os.File, e *extentJob, fin *finState, enc []byte) (*extentResult, error) {
+	width := 0
+	for _, k := range e.kinds {
+		width += k.width()
+	}
+	size := e.rows * int64(width)
+	if int64(cap(fw.raw)) < size {
+		fw.raw = make([]byte, size)
+	}
+	raw := fw.raw[:size]
+	if size > 0 {
+		if _, err := in.ReadAt(raw, e.off); err != nil {
+			return nil, fmt.Errorf("storage: finalize: reading extent at %d: %w", e.off, err)
+		}
+	}
+	blockRows := fin.codecBlockRows()
+	var be *blockEncoder
+	if fin.mode == CompressionSampled {
+		be = newSampledBlockEncoder(e.kinds, DefaultSampleBlocks)
+	} else {
+		be = newBlockEncoder(e.kinds)
+	}
+	codec := &ExtentCodec{
+		BlockRows: blockRows,
+		RawBytes:  size,
+		Offs:      []int64{0},
+		Encodings: map[string]int64{},
+	}
+	enc = enc[:0]
+	t0 := time.Now()
+	for r0 := int64(0); r0 < e.rows; r0 += blockRows {
+		n := blockRows
+		if r0+n > e.rows {
+			n = e.rows - r0
+		}
+		enc = be.encodeBlock(raw[r0*int64(width):], int(n), enc)
+		codec.Offs = append(codec.Offs, int64(len(enc)))
+		for _, tag := range be.tags {
+			codec.Encodings[encName(tag)]++
+		}
+	}
+	res := &extentResult{
+		enc:           enc,
+		codec:         codec,
+		encodeNs:      time.Since(t0).Nanoseconds(),
+		sampledBlocks: be.sampledBlocks,
+		mispredicts:   be.mispredicts,
+	}
+	if zc := fin.zcfg; zc != nil && e.zone.mode != zoneNone && e.rows >= int64(zc.blockRows) {
+		t1 := time.Now()
+		z, err := w.foldExtentZones(fw, e, fin, raw, width)
+		if err != nil {
+			return nil, err
+		}
+		res.zone = z
+		res.zoneNs = time.Since(t1).Nanoseconds()
+	}
+	if e.captureRowIDs && e.rows > 0 {
+		ids := make([]int64, e.rows)
+		for r := int64(0); r < e.rows; r++ {
+			ids[r] = getInt64(raw[r*int64(width):])
+		}
+		res.rowIDs = ids
+	}
+	return res, nil
+}
+
+// foldExtentZones builds the zone map of one extent from the raw rows
+// already in memory for compression. Raw extent order is the final
+// on-disk order (compression runs after CURE+ post-processing), which is
+// exactly the order query-time scans visit — the invariant that makes
+// the fused zones equal to the legacy Reader-based pass.
+func (w *Writer) foldExtentZones(fw *finalizeWorker, e *extentJob, fin *finState, raw []byte, width int) (*ZoneIndex, error) {
+	zc := fin.zcfg
+	if fw.zr == nil {
+		fw.zr = newZoneResolver(w.opts.Resolver, w.opts.Hier, zc)
+	}
+	zb := newZoneBuilder(zc.blockRows, zc.slots)
+	for r := int64(0); r < e.rows; r++ {
+		row := raw[r*int64(width):]
+		switch e.zone.mode {
+		case zoneRowID:
+			codes, err := fw.zr.rowCodes(getInt64(row))
+			if err != nil {
+				return nil, err
+			}
+			zb.addAll(codes)
+		case zoneSparse:
+			k := len(e.zone.slotIdx)
+			if cap(fw.sparse) < k {
+				fw.sparse = make([]int32, k)
+			}
+			sp := fw.sparse[:k]
+			for i := range sp {
+				sp[i] = int32(binary.LittleEndian.Uint32(row[4*i:]))
+			}
+			zb.addSparse(e.zone.slotIdx, sp)
+		case zoneAggRef:
+			ar := getInt64(row)
+			if ar < 0 || ar >= int64(len(fin.aggRRows)) {
+				return nil, fmt.Errorf("storage: finalize: A-rowid %d outside AGGREGATES (%d rows)", ar, len(fin.aggRRows))
+			}
+			codes, err := fw.zr.rowCodes(fin.aggRRows[ar])
+			if err != nil {
+				return nil, err
+			}
+			zb.addAll(codes)
+		}
+	}
+	return zb.finish(), nil
+}
+
+// rewriteExtents rewrites one relation file through the worker/committer
+// pipeline. Workers claim extents (sorted by ascending offset) from a
+// shared cursor, bounded by a lookahead window so buffered results never
+// exceed ~2 extents per worker; whoever holds the commit lock flushes
+// every ready prefix result, so bytes reach the temp file in exactly the
+// sequential pass's order at any worker count. The temp file is renamed
+// over the original, so a crash mid-pass leaves either the old or the
+// new file, never a mix.
+func (w *Writer) rewriteExtents(path string, jobs []extentJob, fin *finState) error {
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].off < jobs[j].off })
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp := path + ".z"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(out, 1<<20)
+
+	workers, release := fin.acquireWorkers(len(jobs))
+	defer release()
+	window := 2 * workers
+
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		next      int
+		committed int
+		cursor    int64
+		results   = make([]*extentResult, len(jobs))
+		spare     [][]byte // recycled encode buffers of committed results
+		firstErr  error
+		panicVal  any
+		writeNs   int64
+	)
+	commitReady := func() {
+		for firstErr == nil && committed < len(jobs) && results[committed] != nil {
+			res := results[committed]
+			t0 := time.Now()
+			if _, err := bw.Write(res.enc); err != nil {
+				firstErr = err
+				break
+			}
+			writeNs += time.Since(t0).Nanoseconds()
+			jobs[committed].set(cursor, res.codec, res.zone)
+			cursor += int64(len(res.enc))
+			if res.rowIDs != nil {
+				fin.aggRRows = res.rowIDs
+			}
+			fin.foldResult(res)
+			spare = append(spare, res.enc)
+			results[committed] = nil
+			committed++
+		}
+	}
+	worker := func(slot int) {
+		defer func() {
+			if v := recover(); v != nil {
+				mu.Lock()
+				if panicVal == nil {
+					panicVal = v
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+		fw := &finalizeWorker{}
+		for {
+			mu.Lock()
+			if firstErr == nil && panicVal == nil && next < len(jobs) && next-committed >= window {
+				fin.cStalls.Inc()
+				fin.stats.CommitStalls++
+				for firstErr == nil && panicVal == nil && next < len(jobs) && next-committed >= window {
+					cond.Wait()
+				}
+			}
+			if firstErr != nil || panicVal != nil || next >= len(jobs) {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			var buf []byte
+			if n := len(spare); n > 0 {
+				buf, spare = spare[n-1], spare[:n-1]
+			}
+			mu.Unlock()
+
+			res, err := w.processExtent(fw, in, &jobs[i], fin, buf)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				res.slot = slot
+				results[i] = res
+				commitReady()
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for s := 1; s < workers; s++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				worker(slot)
+			}(s)
+		}
+		worker(0)
+		wg.Wait()
+	}
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fin.stats.WriteSec += float64(writeNs) / 1e9
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// buildBitmapZones indexes CURE+ bitmap TT extents after the fused pass.
+// Bitmaps are already a compressed form, so they never stream through
+// the encoder — these extents are the one place finalize still re-reads
+// bytes it already wrote, counted in storage.finalize.reread_bytes.
+func (w *Writer) buildBitmapZones(m *Manifest, fin *finState) error {
+	zc := fin.zcfg
+	if zc == nil {
+		return nil
+	}
+	var f *os.File
+	var zr *zoneResolver
+	keys := make([]string, 0, len(m.Nodes))
+	for k := range m.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nm := m.Nodes[k]
+		if nm.TTKind != TTBitmap || nm.TTRows < int64(zc.blockRows) {
+			continue
+		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(filepath.Join(w.opts.Dir, BitmapFile)); err != nil {
+				return err
+			}
+			defer f.Close()
+			zr = newZoneResolver(w.opts.Resolver, w.opts.Hier, zc)
+		}
+		buf := make([]byte, nm.TTBmLen)
+		if _, err := f.ReadAt(buf, nm.TTOff); err != nil {
+			return fmt.Errorf("storage: finalize: TT bitmap of node %s: %w", k, err)
+		}
+		fin.cReread.Add(nm.TTBmLen)
+		fin.stats.RereadBytes += nm.TTBmLen
+		bm, err := bitmap.Unmarshal(buf)
+		if err != nil {
+			return err
+		}
+		zb := newZoneBuilder(zc.blockRows, zc.slots)
+		var ferr error
+		bm.ForEach(func(i int64) bool {
+			codes, err := zr.rowCodes(i)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			zb.addAll(codes)
+			return true
+		})
+		if ferr != nil {
+			return ferr
+		}
+		if z := zb.finish(); z != nil {
+			fin.recordZone(z)
+			nm.TTZones = z
+			m.Nodes[k] = nm
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// finalizeTestResolver maps R-rowids of the writeWorkload fact space
+// (rrowid < 5000) onto the testHier base codes: A0 has 8 members, B 4.
+func finalizeTestResolver(rrowid int64, dst []int32) error {
+	dst[0] = int32(rrowid % 8)
+	dst[1] = int32(rrowid % 4)
+	return nil
+}
+
+// buildFinalizeCube runs the standard mixed workload through a writer
+// with zone maps on and the given compression mode and parallelism.
+func buildFinalizeCube(t *testing.T, dir, mode string, par int, pool WorkerPool, plus, formatA bool) *Manifest {
+	t.Helper()
+	w := newTestWriter(t, Options{
+		Dir: dir, Plus: plus, FactRows: 5000, ZoneBlockRows: 64,
+		Compression: mode, Parallelism: par, Pool: pool,
+		Resolver: finalizeTestResolver,
+	})
+	return writeWorkload(t, w, plus, formatA)
+}
+
+// cubeFiles reads every extent file plus the manifest, keyed by name.
+// The finalize sidecar is deliberately absent: it records wall clocks.
+func cubeFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{NTFile, TTFile, CATFile, AggFile, BitmapFile, ManifestFile} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// testPool is a fixed-size WorkerPool so tests cover the build-wide
+// limiter path of acquireWorkers, not just the free-spawn path.
+type testPool struct{ slots chan struct{} }
+
+func newTestPool(n int) *testPool {
+	p := &testPool{slots: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+func (p *testPool) TryAcquire() bool {
+	select {
+	case <-p.slots:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *testPool) Release() { p.slots <- struct{}{} }
+
+// TestParallelFinalizeByteIdentity pins the pipeline's core contract:
+// whatever the worker count, the rewritten extent files and the manifest
+// are byte-for-byte the sequential pass's output. Sampled selection is
+// held to the same bar — its codec picks may differ from "auto", but
+// they must not depend on scheduling.
+func TestParallelFinalizeByteIdentity(t *testing.T) {
+	cases := []struct {
+		name    string
+		plus    bool
+		formatA bool
+	}{
+		{"plain-formatB", false, false},
+		{"plus-formatB", true, false},
+		{"plus-formatA", true, true},
+	}
+	for _, tc := range cases {
+		for _, mode := range []string{CompressionAuto, CompressionSampled} {
+			t.Run(tc.name+"/"+mode, func(t *testing.T) {
+				refDir := t.TempDir()
+				buildFinalizeCube(t, refDir, mode, 1, nil, tc.plus, tc.formatA)
+				ref := cubeFiles(t, refDir)
+				for _, par := range []int{2, 8} {
+					dir := t.TempDir()
+					buildFinalizeCube(t, dir, mode, par, nil, tc.plus, tc.formatA)
+					got := cubeFiles(t, dir)
+					if len(got) != len(ref) {
+						t.Fatalf("P=%d: %d files, want %d", par, len(got), len(ref))
+					}
+					for name, want := range ref {
+						if !bytes.Equal(got[name], want) {
+							t.Errorf("P=%d: %s differs from sequential output", par, name)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelFinalizePooled drives the pipeline through a build-wide
+// WorkerPool that grants fewer slots than requested; output must still
+// match the sequential pass, and the sidecar must record the grant.
+func TestParallelFinalizePooled(t *testing.T) {
+	refDir := t.TempDir()
+	buildFinalizeCube(t, refDir, CompressionAuto, 1, nil, true, false)
+	ref := cubeFiles(t, refDir)
+
+	dir := t.TempDir()
+	buildFinalizeCube(t, dir, CompressionAuto, 8, newTestPool(2), true, false)
+	for name, want := range ref {
+		if got := cubeFiles(t, dir)[name]; !bytes.Equal(got, want) {
+			t.Errorf("pooled P=8: %s differs from sequential output", name)
+		}
+	}
+	st, err := ReadFinalizeStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallelism != 8 {
+		t.Errorf("sidecar parallelism = %d, want 8", st.Parallelism)
+	}
+	if st.Workers < 1 || st.Workers > 3 {
+		t.Errorf("workers = %d, want 1..3 (pool grants 2 extras)", st.Workers)
+	}
+}
+
+// TestSampledCubeDecodesEqual: sampled selection may encode blocks
+// differently from exact brute force, but the decoded cube must be
+// identical — and to the uncompressed cube too.
+func TestSampledCubeDecodesEqual(t *testing.T) {
+	dirNone, dirAuto, dirSampled := t.TempDir(), t.TempDir(), t.TempDir()
+	buildFinalizeCube(t, dirNone, "", 1, nil, true, false)
+	buildFinalizeCube(t, dirAuto, CompressionAuto, 4, nil, true, false)
+	buildFinalizeCube(t, dirSampled, CompressionSampled, 4, nil, true, false)
+
+	want := collectExtents(t, dirNone)
+	if got := collectExtents(t, dirAuto); !reflect.DeepEqual(got, want) {
+		t.Fatalf("auto cube decodes differently: %d vs %d tuples", len(got), len(want))
+	}
+	if got := collectExtents(t, dirSampled); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sampled cube decodes differently: %d vs %d tuples", len(got), len(want))
+	}
+	st, err := ReadFinalizeStats(dirSampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampledBlocks == 0 {
+		t.Error("sampled build recorded no fast-path blocks")
+	}
+	if st, err := ReadFinalizeStats(dirAuto); err != nil || st.SampledBlocks != 0 {
+		t.Errorf("auto build recorded sampled blocks: %+v err=%v", st, err)
+	}
+}
+
+// TestFusedZonesMatchLegacy compares the fused zone maps (built from
+// the raw bytes streaming through the compressor) with the legacy
+// Reader-based pass an uncompressed build still runs. Row content and
+// order are identical across the two cubes, so every zone index must be.
+func TestFusedZonesMatchLegacy(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		plus    bool
+		formatA bool
+	}{
+		{"plain-formatB", false, false},
+		{"plus-formatB", true, false},
+		{"plus-formatA", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dirLegacy, dirFused := t.TempDir(), t.TempDir()
+			mLegacy := buildFinalizeCube(t, dirLegacy, "", 1, nil, tc.plus, tc.formatA)
+			mFused := buildFinalizeCube(t, dirFused, CompressionAuto, 4, nil, tc.plus, tc.formatA)
+
+			zones := 0
+			for k, nl := range mLegacy.Nodes {
+				nf, ok := mFused.Nodes[k]
+				if !ok {
+					t.Fatalf("node %s missing from fused cube", k)
+				}
+				for _, z := range []struct {
+					rel           string
+					legacy, fused *ZoneIndex
+				}{
+					{"nt", nl.NTZones, nf.NTZones},
+					{"tt", nl.TTZones, nf.TTZones},
+					{"cat", nl.CATZones, nf.CATZones},
+				} {
+					if !reflect.DeepEqual(z.legacy, z.fused) {
+						t.Errorf("node %s %s zones differ:\nlegacy %+v\nfused  %+v", k, z.rel, z.legacy, z.fused)
+					}
+					if z.legacy != nil {
+						zones++
+					}
+				}
+			}
+			if zones == 0 {
+				t.Fatal("workload produced no zone maps; the comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestFinalizeRereadBytes pins the point of the fused pass: a compressed
+// build's zone maps come from bytes already in memory. The only allowed
+// re-read is bitmap TT extents (they never stream through the encoder);
+// with none present the counter must be exactly zero. The legacy
+// uncompressed pass, by contrast, re-reads the cube it just wrote.
+func TestFinalizeRereadBytes(t *testing.T) {
+	dir := t.TempDir()
+	m := buildFinalizeCube(t, dir, CompressionAuto, 4, nil, false, false)
+	st, err := ReadFinalizeStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bitmapBytes int64
+	for _, nm := range m.Nodes {
+		if nm.TTKind == TTBitmap && nm.TTRows >= 64 {
+			bitmapBytes += nm.TTBmLen
+		}
+	}
+	if st.RereadBytes != bitmapBytes {
+		t.Errorf("compressed build reread %d bytes, want %d (bitmap residual only)", st.RereadBytes, bitmapBytes)
+	}
+	if bitmapBytes == 0 && st.RereadBytes != 0 {
+		t.Errorf("fused pass re-read %d bytes with no bitmaps present", st.RereadBytes)
+	}
+
+	dirLegacy := t.TempDir()
+	buildFinalizeCube(t, dirLegacy, "", 1, nil, false, false)
+	stLegacy, err := ReadFinalizeStats(dirLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stLegacy.RereadBytes == 0 {
+		t.Error("legacy zone pass reported zero re-read bytes")
+	}
+}
+
+// TestFinalizeStatsSidecar checks the sidecar's shape on a parallel
+// compressed build, and that ReadFinalizeStats fails cleanly on a
+// directory without one.
+func TestFinalizeStatsSidecar(t *testing.T) {
+	dir := t.TempDir()
+	buildFinalizeCube(t, dir, CompressionAuto, 8, nil, true, false)
+	st, err := ReadFinalizeStats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallelism != 8 || st.Workers < 1 || st.Workers > 8 {
+		t.Errorf("parallelism=%d workers=%d", st.Parallelism, st.Workers)
+	}
+	if st.Compression != CompressionAuto {
+		t.Errorf("compression = %q", st.Compression)
+	}
+	if st.Extents == 0 || st.Blocks == 0 || len(st.Encodings) == 0 {
+		t.Errorf("empty pipeline record: %+v", st)
+	}
+	if st.ZoneExtents == 0 {
+		t.Error("no zone extents recorded despite resolver being set")
+	}
+	if len(st.WorkerRawBytes) < 1 || len(st.WorkerRawBytes) > st.Workers {
+		t.Errorf("worker skew record has %d slots for %d workers", len(st.WorkerRawBytes), st.Workers)
+	}
+	var sum int64
+	for _, b := range st.WorkerRawBytes {
+		sum += b
+	}
+	if sum == 0 {
+		t.Error("worker skew record sums to zero")
+	}
+	if _, err := ReadFinalizeStats(t.TempDir()); err == nil {
+		t.Error("sidecar read from empty dir succeeded")
+	}
+}

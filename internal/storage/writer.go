@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"cure/internal/bitmap"
 	"cure/internal/hierarchy"
@@ -58,8 +59,20 @@ type Options struct {
 	// Compression selects the extent storage format: "" or "none" keeps
 	// the fixed-width v1 layout; "auto" rewrites extents into compressed
 	// columnar blocks at Finalize (block granularity = the effective
-	// ZoneBlockRows, so zone-map pruning skips whole blocks).
+	// ZoneBlockRows, so zone-map pruning skips whole blocks); "sampled"
+	// is the same format with sampled codec selection (see
+	// CompressionSampled).
 	Compression string
+	// Parallelism caps the workers of the finalize extent pipeline
+	// (compression + fused zone maps); ≤1 keeps it sequential. The output
+	// is byte-identical at every setting. When Parallelism > 1 the
+	// Resolver must be safe for concurrent calls.
+	Parallelism int
+	// Pool, when set, is the build-wide limiter extra finalize workers
+	// are drawn from (up to Parallelism-1), so finalize shares one
+	// concurrency budget with the rest of the build. nil lets the
+	// pipeline spawn its workers freely.
+	Pool WorkerPool
 	// Iceberg records the min-count threshold of the build (default 1).
 	Iceberg int64
 	// Metrics is the optional observability registry: per-relation tuple
@@ -102,6 +115,11 @@ type Writer struct {
 	// contended. Their ratio tells whether the shared writer is the
 	// scaling bottleneck.
 	cLockAcq, cLockContended *obsv.Counter
+
+	// finSpan, when set, parents the finalize sub-phase spans
+	// (finalize.compact/compress/zones/commit). nil is fine — child
+	// spans of a nil span are inert.
+	finSpan *obsv.Span
 
 	finalized bool
 }
@@ -170,6 +188,10 @@ func (w *Writer) SetPartitionLevelPair(la, lb int) {
 // Lock arms internal locking so several construction workers may share
 // the writer; single-threaded builds skip the mutex entirely.
 func (w *Writer) Lock() { w.locked = true }
+
+// SetFinalizeSpan attaches the span Finalize hangs its sub-phase child
+// spans off (typically the caller's "finalize" span).
+func (w *Writer) SetFinalizeSpan(sp *obsv.Span) { w.finSpan = sp }
 
 func (w *Writer) lock() {
 	if !w.locked {
@@ -301,7 +323,11 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 		Iceberg:         w.opts.Iceberg,
 	}
 
+	fin := w.newFinState()
+
 	// Compact each log into its extent file.
+	compactStart := time.Now()
+	compactSpan := w.finSpan.Child("compact")
 	ntW := ntCompactor{w: w, m: m}
 	if err := compactLog(w.ntLog, filepath.Join(w.opts.Dir, NTFile), ntW.width, ntW.rewrite, func(id lattice.NodeID, off, rows int64) {
 		nm := m.Nodes[nodeKey(id)]
@@ -331,20 +357,41 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 			return nil, err
 		}
 	}
+	compactSpan.End()
+	fin.stats.CompactSec = time.Since(compactStart).Seconds()
 
 	// Compression runs after CURE+ post-processing (sorted extents are
-	// where RLE and delta coding earn their keep) and before checksums and
-	// zone maps, which both see the final compressed files — zone-map
-	// construction re-reads extents through a Reader, which decodes
-	// transparently.
-	if on, _ := compressionEnabled(w.opts.Compression); on {
-		if err := w.compressExtents(m); err != nil {
+	// where RLE and delta coding earn their keep) and before checksums,
+	// which see the final compressed files. Zone maps are folded into the
+	// same pass: workers index each extent from the raw rows already in
+	// memory for encoding, so the cube is read once, not twice. Bitmap TT
+	// extents never stream through the encoder and are indexed in a small
+	// residual pass.
+	compressed, _ := compressionEnabled(w.opts.Compression)
+	if compressed {
+		t := time.Now()
+		sp := w.finSpan.Child("compress")
+		err := w.compressExtents(m, fin)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
+		fin.stats.CompressSec = time.Since(t).Seconds()
 		m.Compression = "block"
 		m.Version = manifestVersion
+
+		t = time.Now()
+		sp = w.finSpan.Child("zones")
+		err = w.buildBitmapZones(m, fin)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		fin.stats.ZonesSec = time.Since(t).Seconds()
 	}
 
+	commitStart := time.Now()
+	commitSpan := w.finSpan.Child("commit")
 	// Footprint accounting and integrity checksums.
 	m.Checksums = map[string]uint32{}
 	for _, f := range []struct {
@@ -380,13 +427,27 @@ func (w *Writer) Finalize(catFormat signature.Format) (*Manifest, error) {
 	if err := WriteManifest(w.opts.Dir, m); err != nil {
 		return nil, err
 	}
-	// Zone maps re-read the finalized extents through a Reader (so block
-	// order matches query-time scans exactly), then the manifest is
-	// rewritten with the indexes attached.
-	if err := w.buildZoneMaps(m); err != nil {
-		return nil, err
+	commitSpan.End()
+	fin.stats.CommitSec = time.Since(commitStart).Seconds()
+
+	if !compressed {
+		// The v1 path still indexes by re-reading the finalized extents
+		// through a Reader (it needs the manifest already on disk), then
+		// rewrites the manifest with the zone maps attached. Every byte
+		// the pass touches is charged to storage.finalize.reread_bytes.
+		t := time.Now()
+		sp := w.finSpan.Child("zones")
+		err := w.buildZoneMaps(m, fin)
+		if err == nil {
+			err = WriteManifest(w.opts.Dir, m)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		fin.stats.ZonesSec = time.Since(t).Seconds()
 	}
-	if err := WriteManifest(w.opts.Dir, m); err != nil {
+	if err := fin.finish(); err != nil {
 		return nil, err
 	}
 	return m, nil

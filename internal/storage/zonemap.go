@@ -284,31 +284,33 @@ func (b *zoneBuilder) finish() *ZoneIndex {
 	return z
 }
 
-// buildZoneMaps runs after compaction (and CURE+ post-processing) with
-// the manifest already on disk: it re-reads every extent through a
-// Reader — guaranteeing block order matches query-time scan order, bitmap
-// expansion and CURE+ sorting included — resolves each tuple's
-// representative source row to codes at every dimension-level, and
-// attaches the per-extent zone maps to m's NodeMeta records. Cubes
-// written without a resolver (incremental merges) skip indexing.
-func (w *Writer) buildZoneMaps(m *Manifest) error {
-	blockRows := w.opts.ZoneBlockRows
-	if blockRows == 0 {
-		blockRows = DefaultZoneBlockRows
-	}
-	if blockRows < 0 || w.opts.Resolver == nil {
+// buildZoneMaps is the legacy (uncompressed v1) zone-map pass: it runs
+// after compaction with the manifest already on disk and re-reads every
+// extent through a Reader — guaranteeing block order matches query-time
+// scan order, bitmap expansion and CURE+ sorting included — resolves
+// each tuple's representative source row to codes at every
+// dimension-level, and attaches the per-extent zone maps to m's NodeMeta
+// records. Compressed builds never come here: their zones are folded
+// into the compression scan (see foldExtentZones), which is why this
+// pass charges every byte it touches to storage.finalize.reread_bytes.
+// Cubes written without a resolver (incremental merges) skip indexing.
+func (w *Writer) buildZoneMaps(m *Manifest, fin *finState) error {
+	zc := fin.zcfg
+	if zc == nil {
 		return nil
 	}
+	blockRows, offs, slots := zc.blockRows, zc.offs, zc.slots
 	hier := w.opts.Hier
-	offs, slots := ZoneSlots(hier)
-	if slots == 0 {
-		return nil
-	}
 	r, err := OpenReader(w.opts.Dir)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
+	io := &IOStats{}
+	defer func() {
+		fin.cReread.Add(io.BytesRead)
+		fin.stats.RereadBytes += io.BytesRead
+	}()
 
 	// Format (a) CAT rows reach their representative row through
 	// AGGREGATES; pin the relation for the pass.
@@ -317,6 +319,7 @@ func (w *Writer) buildZoneMaps(m *Manifest) error {
 		if aggRaw, err = r.AggregatesRaw(); err != nil {
 			return err
 		}
+		io.Add(int64(len(aggRaw)))
 	}
 	baseDims := make([]int32, hier.NumDims())
 	aggs := make([]float64, m.NumAggrs())
@@ -333,12 +336,9 @@ func (w *Writer) buildZoneMaps(m *Manifest) error {
 		return nil
 	}
 
-	cExtents := w.opts.Metrics.Counter("storage.zone.extents")
-	cBlocks := w.opts.Metrics.Counter("storage.zone.blocks")
 	record := func(z *ZoneIndex) *ZoneIndex {
 		if z != nil {
-			cExtents.Inc()
-			cBlocks.Add(int64(z.NumBlocks()))
+			fin.recordZone(z)
 		}
 		return z
 	}
@@ -369,14 +369,14 @@ func (w *Writer) buildZoneMaps(m *Manifest) error {
 						slotIdx = append(slotIdx, offs[d]+l)
 					}
 				}
-				if err := r.NTRows(id, func(nt NTRow) error {
+				if err := r.NTRowsRanges(id, nil, io, func(nt NTRow) error {
 					zb.addSparse(slotIdx, nt.Dims)
 					return nil
 				}); err != nil {
 					return err
 				}
 			} else {
-				if err := r.NTRows(id, func(nt NTRow) error {
+				if err := r.NTRowsRanges(id, nil, io, func(nt NTRow) error {
 					if err := resolve(nt.RRowid); err != nil {
 						return err
 					}
@@ -390,7 +390,7 @@ func (w *Writer) buildZoneMaps(m *Manifest) error {
 		}
 
 		if nm.TTRows >= int64(blockRows) {
-			ids, err := r.TTRowIDs(id, nil)
+			ids, err := r.TTRowIDsIO(id, nil, io)
 			if err != nil {
 				return err
 			}
@@ -406,14 +406,14 @@ func (w *Writer) buildZoneMaps(m *Manifest) error {
 
 		if nm.CATRows >= int64(blockRows) {
 			zb := newZoneBuilder(blockRows, slots)
-			if err := r.CATRows(id, func(cat CATRow) error {
+			if err := r.CATRowsRanges(id, nil, io, func(cat CATRow) error {
 				rr := cat.RRowid
 				if rr < 0 {
 					// Format (a): the representative row-id lives in the
 					// AGGREGATES tuple — the same indirection queries take.
 					if aggRaw != nil {
 						rr = r.DecodeAggregate(aggRaw, cat.ARowid, aggs)
-					} else if rr, err = r.ReadAggregate(cat.ARowid, aggs); err != nil {
+					} else if rr, err = r.ReadAggregateIO(cat.ARowid, aggs, io); err != nil {
 						return err
 					}
 				}
